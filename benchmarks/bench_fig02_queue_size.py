@@ -1,0 +1,31 @@
+"""Fig. 2 — effect of FR-FCFS pending-queue size on activations.
+
+Paper: activations drop as the queue grows and saturate around 128
+entries (the baseline size).
+"""
+
+from conftest import SWEEP_APPS
+
+from repro.harness.experiments import QUEUE_SIZES, fig02
+from repro.harness.tables import geomean
+
+
+def test_fig02_queue_size(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig02(runner, apps=SWEEP_APPS), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    data = result.data["normalized_acts"]
+    means = {
+        s: geomean(data[a][s] for a in SWEEP_APPS) for s in QUEUE_SIZES
+    }
+    # Small queues see at least as many activations as the 128-entry
+    # baseline. (Our traces' merge potential is mostly *temporal* — DMS
+    # territory — so baseline queue-size sensitivity is milder than the
+    # paper's; the thrash-heavy apps carry the trend. See EXPERIMENTS.md.)
+    assert means[16] >= means[64] >= means[128] - 1e-9
+    assert max(data[a][16] for a in SWEEP_APPS) > 1.01
+    # Growth beyond 128 saturates (within a few percent) — the paper's
+    # justification for the 128-entry baseline.
+    assert abs(means[256] - means[128]) < 0.06

@@ -1,0 +1,33 @@
+"""Fig. 4 — delayed memory scheduling sweep: activations and IPC.
+
+Paper: average activation reduction grows with the delay (up to ~31 %
+at DMS(2048)); many applications keep >= 95 % IPC at moderate delays.
+"""
+
+from conftest import SWEEP_APPS
+
+from repro.harness.experiments import DELAY_SWEEP, fig04
+from repro.harness.tables import geomean
+
+
+def test_fig04_dms_sweep(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig04(runner, apps=SWEEP_APPS), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    acts = result.data["activations"]
+    ipcs = result.data["ipc"]
+    act_means = {
+        d: geomean(acts[a][d] for a in SWEEP_APPS) for d in DELAY_SWEEP
+    }
+    # Activation count decreases monotonically (on average) with delay,
+    # with a sizeable reduction at the largest delay.
+    assert act_means[2048] <= act_means[256] <= act_means[64] + 1e-9
+    assert act_means[2048] < 0.85
+    # Modest delays cost little IPC; large delays cost more.
+    ipc_means = {
+        d: geomean(ipcs[a][d] for a in SWEEP_APPS) for d in DELAY_SWEEP
+    }
+    assert ipc_means[64] > 0.8
+    assert ipc_means[2048] <= ipc_means[128]

@@ -1,0 +1,25 @@
+"""Fig. 5 — how delay shifts the activation RBL distribution.
+
+Paper: the RBL(1) share of activations shrinks as the delay grows,
+while higher-RBL shares grow.
+"""
+
+from repro.harness.experiments import fig05
+
+
+def test_fig05_rbl_distribution(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig05(runner, apps=("GEMM", "newtonraph")), rounds=1,
+        iterations=1
+    )
+    print()
+    print(result.text)
+    for app in ("GEMM", "newtonraph"):
+        shares = result.data["shares"][app]
+        rbl1_baseline = shares[0][0]
+        rbl1_delayed = shares[2048][0]
+        assert rbl1_delayed <= rbl1_baseline + 1e-9
+        # Mass moved to higher-RBL buckets.
+        high_baseline = sum(shares[0][2:])
+        high_delayed = sum(shares[2048][2:])
+        assert high_delayed >= high_baseline - 1e-9

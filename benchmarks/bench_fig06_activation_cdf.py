@@ -1,0 +1,34 @@
+"""Fig. 6 — a small request fraction causes a large activation fraction.
+
+Paper: for GEMM ~10 % of reads (RBL(1-2)) cause ~65 % of activations;
+for 3MM ~0.2 % of reads cause ~45 % of activations.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import fig06
+
+
+def _act_fraction_at(points, req_fraction: float) -> float:
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return float(np.interp(req_fraction, xs, ys))
+
+
+def test_fig06_activation_cdf(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig06(runner, apps=("GEMM", "3MM")), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    curves = result.data["curves"]
+    # GEMM: the first ~10 % of requests account for a disproportionate
+    # share of the activations (paper: ~65 %).
+    gemm_share = _act_fraction_at(curves["GEMM"], 0.10)
+    assert gemm_share > 0.25
+    # 3MM: an even smaller request fraction dominates.
+    mm3_share = _act_fraction_at(curves["3MM"], 0.05)
+    assert mm3_share > 0.15
+    # The CDF is strongly super-linear at the low end for both.
+    for app in ("GEMM", "3MM"):
+        assert _act_fraction_at(curves[app], 0.2) > 0.2

@@ -1,0 +1,29 @@
+"""Fig. 7 — how AMS helps DMS (LPS and SCP case studies).
+
+Paper: (a) LPS's activations barely respond to delay, but AMS(8)
+reduces them while *improving* IPC; (b) for SCP, adding AMS(8) to
+DMS(256) recovers the IPC lost to the delay while reducing activations
+further.
+"""
+
+from repro.harness.experiments import fig07
+
+
+def test_fig07_case_studies(runner, benchmark):
+    result = benchmark.pedantic(lambda: fig07(runner), rounds=1,
+                                iterations=1)
+    print()
+    print(result.text)
+    rows = result.data["rows"]
+    # (a) LPS: AMS reduces activations more than DMS(512) does, without
+    # the delay's IPC penalty.
+    lps_dms = rows[("LPS", "DMS(512)")]
+    lps_ams = rows[("LPS", "AMS(8)")]
+    assert lps_ams[0] < lps_dms[0] + 0.05  # norm acts
+    assert lps_ams[1] > lps_dms[1]  # norm IPC
+    # (b) SCP: the combination reduces activations at least as much as
+    # either component and recovers IPC relative to DMS(256) alone.
+    scp_dms = rows[("SCP", "DMS(256)")]
+    scp_combo = rows[("SCP", "DMS(256)+AMS(8)")]
+    assert scp_combo[0] <= scp_dms[0]
+    assert scp_combo[1] >= scp_dms[1]

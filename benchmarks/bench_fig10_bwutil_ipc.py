@@ -1,0 +1,19 @@
+"""Fig. 10 — IPC is linearly correlated with DRAM bandwidth utilisation.
+
+This correlation is what lets Dyn-DMS track performance locally at the
+memory controller.
+"""
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10_bwutil_ipc(runner, benchmark):
+    apps = ("SCP", "MVT", "CONS", "newtonraph")
+    result = benchmark.pedantic(
+        lambda: fig10(runner, apps=apps), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    corr = result.data["corr"]
+    strong = sum(1 for app in apps if corr[app] > 0.85)
+    assert strong >= 3, f"correlations too weak: {corr}"

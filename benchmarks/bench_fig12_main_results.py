@@ -1,0 +1,52 @@
+"""Fig. 12 — the headline result: row energy, IPC, error, coverage.
+
+Paper (groups 1-3): row energy falls ~12 % with Dyn-DMS, ~33 % with
+Static-AMS, ~44 % with Dyn-DMS + Dyn-AMS; every scheme keeps >= 95 %
+IPC (the AMS schemes can even gain); the mean application error stays
+moderate at <= 10 % coverage.
+"""
+
+import numpy as np
+
+from conftest import SCALE
+
+from repro.harness.experiments import fig12
+from repro.harness.tables import geomean
+
+#: A group-1..3 subset that keeps the benchmark affordable; run
+#: `repro-harness fig12` for the full population.
+APPS = ("SCP", "BICG", "LPS", "MVT", "3DCONV", "3MM", "meanfilter")
+
+
+def test_fig12_main_results(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12(runner, apps=APPS), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    m = result.data["metrics"]
+
+    def mean(metric, label):
+        return geomean(m[metric][(a, label)] for a in APPS)
+
+    energy_dyn_dms = mean("row_energy", "Dyn-DMS")
+    energy_static_ams = mean("row_energy", "Static-AMS")
+    energy_combo = mean("row_energy", "Dyn-DMS+Dyn-AMS")
+    # The paper's ordering: DMS < AMS < combined, all saving energy.
+    # (Our Dyn-DMS is conservative — its 95 % BWUTIL guard on short
+    # traces adopts smaller delays than the paper's long runs, so its
+    # solo savings are modest; the combination still dominates.)
+    assert energy_dyn_dms <= 1.0 + 1e-9
+    assert energy_static_ams < energy_dyn_dms
+    assert energy_combo <= energy_static_ams + 0.02
+    assert energy_combo < 0.88  # headline-scale saving
+    # IPC: dynamic schemes hold near baseline; AMS schemes do not lose.
+    assert mean("ipc", "Dyn-DMS") > 0.9
+    assert mean("ipc", "Dyn-AMS") > 0.95
+    assert mean("ipc", "Dyn-DMS+Dyn-AMS") > 0.9
+    # Coverage bounded by the user limit.
+    cov = [m["coverage"][(a, "Dyn-DMS+Dyn-AMS")] for a in APPS]
+    assert max(cov) <= 0.10 + 1e-6
+    # Errors are moderate on the error-tolerant population.
+    errs = [m["error"][(a, "Dyn-DMS+Dyn-AMS")] for a in APPS]
+    assert float(np.mean(errs)) < 0.25

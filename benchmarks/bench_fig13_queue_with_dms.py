@@ -1,0 +1,29 @@
+"""Fig. 13 — pending-queue size under DMS(2048).
+
+Paper: activation counts stabilise from 128 entries on, so the baseline
+queue suffices for DMS.
+"""
+
+from conftest import SWEEP_APPS
+
+from repro.harness.experiments import fig13
+from repro.harness.tables import geomean
+
+APPS = SWEEP_APPS[:4]
+
+
+def test_fig13_queue_with_dms(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13(runner, apps=APPS), rounds=1, iterations=1
+    )
+    print()
+    print(result.text)
+    data = result.data["normalized_acts"]
+    m128 = geomean(data[a][128] for a in APPS)
+    m192 = geomean(data[a][192] for a in APPS)
+    m256 = geomean(data[a][256] for a in APPS)
+    # Growth beyond 128 entries changes activations only marginally.
+    assert abs(m192 - m128) < 0.08
+    assert abs(m256 - m128) < 0.10
+    # And DMS(2048) with the baseline queue reduces activations.
+    assert m128 < 1.0

@@ -1,0 +1,19 @@
+"""Fig. 14 — laplacian output quality under Dyn-DMS + Dyn-AMS.
+
+Paper: the sharpened image shows limited degradation at 17 %
+application error.
+"""
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14_laplacian_quality(runner, benchmark):
+    result = benchmark.pedantic(lambda: fig14(runner), rounds=1,
+                                iterations=1)
+    print()
+    print(result.text)
+    error = result.data["error"] or 0.0
+    # Limited quality degradation: bounded error, recognisable image.
+    assert error < 0.40
+    assert result.data["psnr"] > 12.0
+    assert result.data["exact"].shape == result.data["approx"].shape

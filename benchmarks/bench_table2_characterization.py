@@ -1,0 +1,20 @@
+"""Table II/III — measure and classify every application feature.
+
+Classifies thrashing level, delay tolerance, activation sensitivity,
+Th_RBL sensitivity and error tolerance of all twenty applications with
+the paper's Table III thresholds, and compares against the published
+Table II levels.
+"""
+
+from repro.harness.experiments import table2
+
+
+def test_table2_characterization(runner, benchmark):
+    result = benchmark.pedantic(lambda: table2(runner), rounds=1,
+                                iterations=1)
+    print()
+    print(result.text)
+    # A qualitative reproduction: most of the 100 feature cells match
+    # the paper's classification (exact agreement is not expected on a
+    # rebuilt substrate; EXPERIMENTS.md records the full comparison).
+    assert result.data["matches"] >= 0.55 * result.data["total"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Energy study: the Fig. 12 trade-off on a workload mix of your choice.
+
+Sweeps the paper's scheme set over a set of applications, prints a
+row-energy / IPC / error summary per scheme, and projects the savings
+onto GDDR5, HBM1 and HBM2 memory-system energy (paper Section V).
+
+Usage::
+
+    python examples/energy_study.py --apps SCP,LPS,MVT --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config.energy import gddr5_energy, hbm1_energy, hbm2_energy
+from repro.dram.energy import project_memory_system_energy
+from repro.harness.runner import Runner
+from repro.harness.schemes import evaluation_schemes
+from repro.harness.tables import format_table, geomean
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", default="SCP,BICG,LPS,MVT,3MM")
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+    apps = [a.strip() for a in args.apps.split(",")]
+
+    runner = Runner(scale=args.scale, verbose=True)
+    schemes = evaluation_schemes()
+    results = runner.run_matrix(apps, schemes, measure_error=True)
+
+    rows = []
+    for label in schemes:
+        if label == "Baseline":
+            continue
+        energy = geomean(
+            results[(a, label)].normalized_row_energy(
+                results[(a, "Baseline")]
+            )
+            for a in apps
+        )
+        ipc = geomean(
+            results[(a, label)].normalized_ipc(results[(a, "Baseline")])
+            for a in apps
+        )
+        errors = [
+            results[(a, label)].application_error or 0.0 for a in apps
+        ]
+        hbm1 = project_memory_system_energy(1.0, energy, hbm1_energy())
+        hbm2 = project_memory_system_energy(1.0, energy, hbm2_energy())
+        gddr = project_memory_system_energy(1.0, energy, gddr5_energy())
+        rows.append(
+            [label, energy, ipc, sum(errors) / len(errors),
+             gddr, hbm1, hbm2]
+        )
+    print()
+    print(
+        format_table(
+            ["Scheme", "row energy", "IPC", "mean error",
+             "GDDR5 sys", "HBM1 sys", "HBM2 sys"],
+            rows,
+            title=f"Energy study over {', '.join(apps)} "
+            "(normalized to baseline)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

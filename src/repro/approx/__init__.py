@@ -1,0 +1,19 @@
+"""Output-quality pipeline: replay AMS drops through the real kernels."""
+
+from repro.approx.propagation import (
+    build_perturbed_inputs_with_reuse,
+    measure_application_error_with_reuse,
+)
+from repro.approx.quality import mean_relative_error, mismatch_rate, psnr, rmse
+from repro.approx.replay import build_perturbed_inputs, measure_application_error
+
+__all__ = [
+    "build_perturbed_inputs",
+    "build_perturbed_inputs_with_reuse",
+    "mean_relative_error",
+    "measure_application_error",
+    "measure_application_error_with_reuse",
+    "mismatch_rate",
+    "psnr",
+    "rmse",
+]

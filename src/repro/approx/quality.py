@@ -1,0 +1,39 @@
+"""Output-quality metrics for the approximation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_relative_error(
+    exact: np.ndarray, approx: np.ndarray, *, floor: float = 1e-6
+) -> float:
+    """Average relative error between two outputs (paper Section II-D)."""
+    e = np.asarray(exact, dtype=np.float64).ravel()
+    a = np.asarray(approx, dtype=np.float64).ravel()
+    denom = np.maximum(np.abs(e), floor)
+    return float(np.mean(np.abs(a - e) / denom))
+
+
+def rmse(exact: np.ndarray, approx: np.ndarray) -> float:
+    """Root-mean-square error."""
+    e = np.asarray(exact, dtype=np.float64).ravel()
+    a = np.asarray(approx, dtype=np.float64).ravel()
+    return float(np.sqrt(np.mean((a - e) ** 2)))
+
+
+def psnr(
+    exact: np.ndarray, approx: np.ndarray, *, peak: float = 255.0
+) -> float:
+    """Peak signal-to-noise ratio in dB (image outputs, Fig. 14)."""
+    err = rmse(exact, approx)
+    if err == 0:
+        return float("inf")
+    return float(20 * np.log10(peak / err))
+
+
+def mismatch_rate(exact: np.ndarray, approx: np.ndarray) -> float:
+    """Fraction of differing entries (discrete outputs, e.g. jmein)."""
+    e = np.asarray(exact).ravel()
+    a = np.asarray(approx).ravel()
+    return float(np.mean(e != a))

@@ -1,0 +1,65 @@
+"""Approximation replay: from simulator drop records to application error.
+
+During simulation the AMS unit records, for every dropped request, the
+donor line the VP unit selected (the nearest-address line resident in the
+local L2 slice). This module substitutes the donor lines' *values* into
+the workload's input arrays and re-runs the real kernel, yielding the
+end-to-end application error of paper Section II-D / Fig. 12(c).
+
+Per the paper's footnote 2, reuse-driven error propagation is not
+modelled: each dropped line is perturbed once in the input copy, and all
+kernel uses of those elements see the approximated values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.vp.predictor import DropRecord
+from repro.workloads.base import Workload
+from repro.workloads.layout import AddressSpace
+
+
+def build_perturbed_inputs(
+    space: AddressSpace,
+    arrays: dict[str, np.ndarray],
+    drops: Iterable[DropRecord],
+) -> dict[str, np.ndarray]:
+    """Copies of the arrays with every dropped line's bytes replaced by
+    its donor line's bytes (zeros when no donor was available)."""
+    perturbed = {name: arr.copy() for name, arr in arrays.items()}
+    zero_line = bytes(space.line_bytes)
+    for drop in drops:
+        located = space.locate_line(drop.addr)
+        if located is None:
+            continue
+        spec, _, _ = located
+        if not spec.approximable:
+            # AMS only drops annotated reads; tolerate stray records.
+            continue
+        if drop.donor_line_addr is None:
+            data = zero_line
+        else:
+            donor_byte_addr = drop.donor_line_addr * space.line_bytes
+            data = space.read_line_bytes(arrays, donor_byte_addr)
+        space.write_line_bytes(perturbed, drop.addr, data)
+    return perturbed
+
+
+def measure_application_error(
+    workload: Workload,
+    drops: Iterable[DropRecord],
+    *,
+    config: GPUConfig | None = None,
+) -> float:
+    """End-to-end application error for a simulation's drop log."""
+    drops = list(drops)
+    if not drops:
+        return 0.0
+    exact = workload.run_exact()
+    perturbed = build_perturbed_inputs(workload.space, workload.arrays, drops)
+    approx_out = workload.run_approx(perturbed)
+    return workload.output_error(exact, approx_out)

@@ -1,0 +1,67 @@
+"""Configuration objects for the simulated GPU and the lazy scheduler."""
+
+from repro.config.address import AddressMapping, DecodedAddress
+from repro.config.energy import (
+    DRAMEnergyParams,
+    gddr5_energy,
+    hbm1_energy,
+    hbm2_energy,
+)
+from repro.config.gpu import GPUConfig, L2Config
+from repro.config.scheduler import (
+    AMSConfig,
+    AMSMode,
+    DMSConfig,
+    DMSMode,
+    SchedulerConfig,
+    VPConfig,
+    baseline_scheduler,
+    dyn_ams,
+    dyn_combo,
+    dyn_dms,
+    static_ams,
+    static_combo,
+    static_dms,
+)
+from repro.config.timing import (
+    DRAMTimings,
+    gddr5_timings,
+    hbm1_timings,
+    hbm2_timings,
+)
+
+__all__ = [
+    "AMSConfig",
+    "AMSMode",
+    "AddressMapping",
+    "DMSConfig",
+    "DMSMode",
+    "DRAMEnergyParams",
+    "DRAMTimings",
+    "DecodedAddress",
+    "GPUConfig",
+    "L2Config",
+    "SchedulerConfig",
+    "VPConfig",
+    "baseline_config",
+    "baseline_scheduler",
+    "dyn_ams",
+    "dyn_combo",
+    "dyn_dms",
+    "gddr5_energy",
+    "gddr5_timings",
+    "hbm1_energy",
+    "hbm1_timings",
+    "hbm2_energy",
+    "hbm2_timings",
+    "static_ams",
+    "static_combo",
+    "static_dms",
+]
+
+
+def baseline_config() -> GPUConfig:
+    """The Table I baseline GPU: 30 SMs, 6 GDDR5 MCs, FR-FCFS, queue 128."""
+    config = GPUConfig()
+    config.validate()
+    return config

@@ -1,0 +1,88 @@
+"""DRAM timing parameters.
+
+All values are in *memory clock cycles* (924 MHz for the baseline GDDR5
+configuration of Table I in the paper). The parameter names follow the
+Hynix GDDR5 datasheet nomenclature used by the paper:
+
+========  ==================================================================
+tCL       CAS latency: column read command to first data beat
+tRCD      row-to-column delay: ACT to first column command to that bank
+tRP       row precharge: PRE to next ACT to the same bank
+tRC       row cycle: minimum ACT-to-ACT interval for the same bank
+tRAS      row active time: ACT to PRE for the same bank
+tCCD      column-to-column delay between accesses in the same bank group
+tRRD      ACT-to-ACT delay between *different* banks of the same channel
+tCDLR     last write data to column read command, same bank (write-to-read)
+tWR       write recovery: last write data to PRE, same bank
+tCWL      CAS write latency: column write command to first data beat
+tBURST    data bus occupancy of one 128-byte access (BL8, DDR => 4 cycles)
+tREFI     average interval between all-bank refresh commands
+tRFC      refresh cycle time: REF blocks the whole channel this long
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class DRAMTimings:
+    """Timing constraints for one DRAM technology, in memory cycles."""
+
+    tCL: int = 12
+    tRCD: int = 12
+    tRP: int = 12
+    tRC: int = 40
+    tRAS: int = 28
+    tCCD: int = 2
+    tRRD: int = 6
+    tCDLR: int = 5
+    tWR: int = 12
+    tCWL: int = 4
+    tBURST: int = 4
+    tREFI: int = 3600
+    tRFC: int = 88
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`ConfigError` if broken."""
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.tRC < self.tRAS + self.tRP:
+            raise ConfigError(
+                f"tRC ({self.tRC}) must be >= tRAS + tRP "
+                f"({self.tRAS} + {self.tRP})"
+            )
+        if self.tRAS < self.tRCD:
+            raise ConfigError(
+                f"tRAS ({self.tRAS}) must be >= tRCD ({self.tRCD})"
+            )
+        if self.tREFI <= self.tRFC:
+            raise ConfigError(
+                f"tREFI ({self.tREFI}) must exceed tRFC ({self.tRFC})"
+            )
+
+
+def gddr5_timings() -> DRAMTimings:
+    """Hynix GDDR5 timings from Table I of the paper."""
+    return DRAMTimings()
+
+
+def hbm1_timings() -> DRAMTimings:
+    """HBM generation-1 timings (500 MHz class, scaled to model cycles).
+
+    HBM runs a slower clock with wider interfaces; in this model we keep the
+    Table I command timings but stretch the row cycle slightly, which is
+    adequate because the paper's HBM results only re-weight the *energy*
+    breakdown (row energy ~50 % of DRAM energy for HBM1).
+    """
+    return DRAMTimings(tCL=14, tRCD=14, tRP=14, tRC=47, tRAS=33)
+
+
+def hbm2_timings() -> DRAMTimings:
+    """HBM generation-2 timings (same modelling caveat as :func:`hbm1_timings`)."""
+    return DRAMTimings(tCL=14, tRCD=14, tRP=14, tRC=45, tRAS=31)

@@ -1,0 +1,36 @@
+"""DRAM substrate: requests, banks, channels, timing, energy, statistics."""
+
+from repro.dram.bank import NO_ROW, Bank
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandRecord, DRAMCommand
+from repro.dram.energy import (
+    EnergyBreakdown,
+    compute_energy,
+    project_memory_system_energy,
+)
+from repro.dram.request import MemoryRequest, reset_request_ids
+from repro.dram.stats import (
+    ActivationRecord,
+    BusUtilizationTracker,
+    ChannelStats,
+    merge_rbl_histograms,
+)
+from repro.dram.timing import TimingChecker
+
+__all__ = [
+    "ActivationRecord",
+    "Bank",
+    "BusUtilizationTracker",
+    "Channel",
+    "ChannelStats",
+    "CommandRecord",
+    "DRAMCommand",
+    "EnergyBreakdown",
+    "MemoryRequest",
+    "NO_ROW",
+    "TimingChecker",
+    "compute_energy",
+    "merge_rbl_histograms",
+    "project_memory_system_energy",
+    "reset_request_ids",
+]

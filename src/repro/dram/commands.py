@@ -1,0 +1,40 @@
+"""DRAM command records.
+
+Every command the channel model issues can be logged as a
+:class:`CommandRecord`; the :class:`repro.dram.timing.TimingChecker`
+re-validates logged streams against the full constraint set, giving the
+fast event-driven model an independent correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DRAMCommand(enum.Enum):
+    """The four commands of the open-row protocol used by the paper."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+
+
+@dataclass(frozen=True, slots=True)
+class CommandRecord:
+    """One issued DRAM command with its issue time (memory cycles)."""
+
+    time: float
+    command: DRAMCommand
+    bank: int
+    bank_group: int
+    row: int
+    column: int = -1
+
+    def __str__(self) -> str:
+        loc = f"b{self.bank}/r{self.row}"
+        if self.command in (DRAMCommand.READ, DRAMCommand.WRITE):
+            loc += f"/c{self.column}"
+        return f"@{self.time:.0f} {self.command.value} {loc}"

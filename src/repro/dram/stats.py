@@ -1,0 +1,150 @@
+"""DRAM-side statistics: activations, RBL accounting, bus utilisation.
+
+Row Buffer Locality (RBL) terminology follows paper Section II-D:
+
+* ``RBL(X)`` — an activation during which exactly X requests were served
+  back-to-back from the open row before it was closed.
+* ``Avg-RBL`` — total requests served by DRAM / total activations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, Optional
+
+
+@dataclass(slots=True)
+class ActivationRecord:
+    """One completed activation: how well its row buffer was reused."""
+
+    bank: int
+    row: int
+    open_time: float
+    rbl: int
+    reads: int
+    writes: int
+
+    @property
+    def reads_only(self) -> bool:
+        """True when the row was opened to serve only read requests."""
+        return self.writes == 0
+
+
+class BusUtilizationTracker:
+    """Tracks data-bus busy intervals and answers windowed queries.
+
+    The channel's data bus serialises bursts, so intervals arrive sorted
+    and non-overlapping; queries (used by the Dyn-DMS profiler) advance
+    monotonically in time.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Deque[tuple[float, float]] = deque()
+        self._cursor: float = 0.0
+        self.total_busy: float = 0.0
+
+    def add(self, start: float, end: float) -> None:
+        """Record a data burst occupying the bus on ``[start, end)``."""
+        if end <= start:
+            return
+        self.total_busy += end - start
+        self._pending.append((start, end))
+
+    def busy_since_last_query(self, now: float) -> float:
+        """Busy cycles in ``[previous query time, now)``; advances the cursor."""
+        busy = 0.0
+        while self._pending:
+            start, end = self._pending[0]
+            if start >= now:
+                break
+            if end <= now:
+                busy += end - max(start, self._cursor)
+                self._pending.popleft()
+            else:
+                busy += now - max(start, self._cursor)
+                break
+        self._cursor = now
+        return busy
+
+
+@dataclass
+class ChannelStats:
+    """Statistics for one memory channel."""
+
+    reads_served: int = 0
+    writes_served: int = 0
+    activations: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    requests_dropped: int = 0
+    reads_arrived: int = 0
+    writes_arrived: int = 0
+    rbl_histogram: Counter = field(default_factory=Counter)
+    activation_log: list[ActivationRecord] = field(default_factory=list)
+    record_activations: bool = True
+    bus: BusUtilizationTracker = field(default_factory=BusUtilizationTracker)
+    _open: dict[int, ActivationRecord] = field(default_factory=dict)
+
+    def on_activate(self, bank: int, row: int, t: float) -> None:
+        """Record an ACT; closes accounting for the bank's previous row."""
+        self._close(bank)
+        self.activations += 1
+        self._open[bank] = ActivationRecord(
+            bank=bank, row=row, open_time=t, rbl=0, reads=0, writes=0
+        )
+
+    def on_precharge(self, bank: int) -> None:
+        """Record a PRE that closes the bank without a follow-up ACT yet."""
+        self.precharges += 1
+        self._close(bank)
+
+    def on_column(self, bank: int, is_write: bool) -> None:
+        """Record a column access served from the open row of ``bank``."""
+        rec = self._open.get(bank)
+        if rec is not None:
+            rec.rbl += 1
+            if is_write:
+                rec.writes += 1
+            else:
+                rec.reads += 1
+        if is_write:
+            self.writes_served += 1
+        else:
+            self.reads_served += 1
+
+    def finalize(self) -> None:
+        """Flush accounting for rows still open at the end of simulation."""
+        for bank in list(self._open):
+            self._close(bank)
+
+    def _close(self, bank: int) -> None:
+        rec = self._open.pop(bank, None)
+        if rec is None:
+            return
+        self.rbl_histogram[rec.rbl] += 1
+        if self.record_activations:
+            self.activation_log.append(rec)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def requests_served(self) -> int:
+        """Column accesses actually served by the DRAM banks."""
+        return self.reads_served + self.writes_served
+
+    @property
+    def avg_rbl(self) -> float:
+        """Average row buffer locality (requests / activations)."""
+        if not self.activations:
+            return 0.0
+        return self.requests_served / self.activations
+
+
+def merge_rbl_histograms(stats: Iterable[ChannelStats]) -> Counter:
+    """Combine per-channel RBL histograms into one."""
+    total: Counter = Counter()
+    for s in stats:
+        total.update(s.rbl_histogram)
+    return total

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command was issued in violation of a timing constraint.
+
+    Raised by :class:`repro.dram.timing.TimingChecker` when validation is
+    enabled; the fast simulation path never issues illegal commands, so this
+    error indicates a simulator bug.
+    """
+
+
+class SchedulingError(ReproError):
+    """An internal invariant of a memory scheduler was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace generator is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state (e.g. deadlock)."""

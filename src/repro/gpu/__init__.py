@@ -1,0 +1,7 @@
+"""GPU frontend: warps, SM array, interconnect."""
+
+from repro.gpu.frontend import GPUFrontend
+from repro.gpu.interconnect import Crossbar
+from repro.gpu.warp import Access, Warp, WarpOp, WarpState
+
+__all__ = ["Access", "Crossbar", "GPUFrontend", "Warp", "WarpOp", "WarpState"]

@@ -1,0 +1,99 @@
+"""Warp-level execution model.
+
+A warp alternates *compute* phases and *memory* phases, the granularity at
+which GPGPU-Sim-class simulators model latency hiding: a warp retires a
+batch of instructions, issues its coalesced global accesses, and blocks
+until every load of the batch has returned. The SM hides memory latency
+by keeping many warps in flight — exactly the property the paper's DMS
+exploits ("GPUs hide long memory access latencies by spawning thousands
+of concurrent threads").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One coalesced 128-byte global access issued by a warp."""
+
+    addr: int
+    is_write: bool = False
+    approximable: bool = False
+    #: True when a store writes the whole line (no fetch-on-write needed).
+    full_line: bool = True
+    #: Opaque workload token for approximation replay.
+    tag: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class WarpOp:
+    """One compute-then-memory step of a warp.
+
+    ``compute_cycles`` are *core* cycles spent before the accesses issue;
+    ``instructions`` is the number of warp instructions the op retires
+    (used for IPC accounting).
+    """
+
+    compute_cycles: float
+    instructions: int
+    accesses: tuple[Access, ...] = ()
+
+
+class WarpState(enum.Enum):
+    """Lifecycle of a warp."""
+
+    COMPUTING = "computing"
+    WAITING_MEM = "waiting_mem"
+    FINISHED = "finished"
+
+
+class Warp:
+    """Runtime state of one warp executing a stream of :class:`WarpOp`."""
+
+    __slots__ = (
+        "warp_id",
+        "sm_id",
+        "_ops",
+        "state",
+        "outstanding_loads",
+        "instructions_retired",
+        "ops_retired",
+        "current_op",
+    )
+
+    def __init__(
+        self, warp_id: int, sm_id: int, ops: Sequence[WarpOp] | Iterator[WarpOp]
+    ) -> None:
+        self.warp_id = warp_id
+        self.sm_id = sm_id
+        self._ops = iter(ops)
+        self.state = WarpState.COMPUTING
+        self.outstanding_loads = 0
+        self.instructions_retired = 0
+        self.ops_retired = 0
+        self.current_op: Optional[WarpOp] = None
+
+    def next_op(self) -> Optional[WarpOp]:
+        """Advance to the next op; None when the stream is exhausted.
+
+        Exhaustion does not finish the warp by itself: with memory-level
+        parallelism, earlier ops may still await replies — the frontend
+        marks the warp FINISHED once they drain.
+        """
+        self.current_op = next(self._ops, None)
+        return self.current_op
+
+    def retire_current(self) -> None:
+        """Account the just-completed op."""
+        assert self.current_op is not None
+        self.instructions_retired += self.current_op.instructions
+        self.ops_retired += 1
+
+    @property
+    def finished(self) -> bool:
+        """Whether the warp has drained its op stream."""
+        return self.state is WarpState.FINISHED

@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-harness fig04 --apps SCP,LPS --scale 0.5
+    repro-harness fig12
+    repro-harness all --scale 0.25
+    python -m repro.harness.cli table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.runner import Runner
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment (or ``all``) and print its tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the paper's tables and figures on the simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper figure/table) or 'all'",
+    )
+    parser.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated subset of Table II applications",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (smaller = faster)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload data/trace seed"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    args = parser.parse_args(argv)
+
+    runner = Runner(scale=args.scale, seed=args.seed,
+                    verbose=not args.quiet)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        if args.apps:
+            apps = tuple(a.strip() for a in args.apps.split(","))
+            try:
+                result = fn(runner, apps)
+            except TypeError:
+                result = fn(runner)  # experiment with fixed app set
+        else:
+            result = fn(runner)
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Experiment runner: simulate (workload x scheme) matrices with caching."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import SchedulerConfig
+from repro.sim.report import SimReport
+from repro.sim.system import simulate
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class Runner:
+    """Runs simulations and memoises results within a harness session.
+
+    The cache key is (app, scheme-label, scale, measure_error), so an
+    experiment that reuses another experiment's baseline does not re-run
+    it.
+    """
+
+    scale: float = 1.0
+    seed: int = 7
+    config: Optional[GPUConfig] = None
+    verbose: bool = True
+    _cache: dict[tuple, SimReport] = field(default_factory=dict)
+
+    def run(
+        self,
+        app: str,
+        scheme: SchedulerConfig,
+        *,
+        label: Optional[str] = None,
+        measure_error: bool = False,
+    ) -> SimReport:
+        """Simulate one (app, scheme) cell."""
+        key = (app, label or scheme.name, self.scale, measure_error)
+        if key in self._cache:
+            return self._cache[key]
+        workload = get_workload(app, scale=self.scale, seed=self.seed)
+        start = time.time()
+        report = simulate(
+            workload,
+            scheduler=scheme,
+            config=self.config,
+            measure_error=measure_error,
+        )
+        if self.verbose:
+            print(
+                f"  [{app} / {label or scheme.name}] "
+                f"{time.time() - start:.1f}s, "
+                f"acts={report.activations}, ipc={report.ipc:.2f}",
+                file=sys.stderr,
+            )
+        self._cache[key] = report
+        return report
+
+    def run_matrix(
+        self,
+        apps: Iterable[str],
+        schemes: dict[str, SchedulerConfig],
+        *,
+        measure_error: bool = False,
+    ) -> dict[tuple[str, str], SimReport]:
+        """Simulate every (app, scheme) pair."""
+        results: dict[tuple[str, str], SimReport] = {}
+        for app in apps:
+            for label, scheme in schemes.items():
+                error = measure_error and scheme.ams.mode.value != "off"
+                results[(app, label)] = self.run(
+                    app, scheme, label=label, measure_error=error
+                )
+        return results

@@ -1,0 +1,111 @@
+"""The evaluated scheduling schemes (paper Fig. 12 legend).
+
+Dynamic schemes profile in windows of 4096 memory cycles in the paper,
+whose applications run for hundreds of millions of cycles. Our traces
+are minutes-of-Python long, so the harness scales the profiling window
+(default 1024 cycles, 16 windows per phase) — the state machines are
+identical, only the sampling period changes. Pass
+``window_cycles=4096, windows_per_phase=32`` to reproduce the paper's
+literal constants on long traces.
+"""
+
+from __future__ import annotations
+
+from repro.config.scheduler import (
+    AMSConfig,
+    AMSMode,
+    DMSConfig,
+    DMSMode,
+    SchedulerConfig,
+)
+
+#: Harness-scaled profiling constants (see module docstring).
+WINDOW_CYCLES = 1024
+WINDOWS_PER_PHASE = 16
+
+
+def _dms(mode: DMSMode, window: int, phase: int) -> DMSConfig:
+    return DMSConfig(
+        mode=mode, window_cycles=window, windows_per_phase=phase
+    )
+
+
+def _ams(mode: AMSMode, window: int, coverage: float) -> AMSConfig:
+    return AMSConfig(mode=mode, window_cycles=window,
+                     coverage_limit=coverage)
+
+
+def evaluation_schemes(
+    *,
+    window_cycles: int = WINDOW_CYCLES,
+    windows_per_phase: int = WINDOWS_PER_PHASE,
+    coverage: float = 0.10,
+    include_ams: bool = True,
+) -> dict[str, SchedulerConfig]:
+    """The Fig. 12 scheme set, keyed by the paper's legend labels.
+
+    With ``include_ams=False`` only the delay-only schemes are returned
+    (the Fig. 15 set used for low-error-tolerance applications).
+    """
+    schemes: dict[str, SchedulerConfig] = {
+        "Baseline": SchedulerConfig(),
+        "Static-DMS": SchedulerConfig(
+            dms=_dms(DMSMode.STATIC, window_cycles, windows_per_phase)
+        ),
+        "Dyn-DMS": SchedulerConfig(
+            dms=_dms(DMSMode.DYNAMIC, window_cycles, windows_per_phase)
+        ),
+    }
+    if include_ams:
+        schemes.update(
+            {
+                "Static-AMS": SchedulerConfig(
+                    ams=_ams(AMSMode.STATIC, window_cycles, coverage)
+                ),
+                "Dyn-AMS": SchedulerConfig(
+                    ams=_ams(AMSMode.DYNAMIC, window_cycles, coverage)
+                ),
+                "Static-DMS+Static-AMS": SchedulerConfig(
+                    dms=_dms(DMSMode.STATIC, window_cycles,
+                             windows_per_phase),
+                    ams=_ams(AMSMode.STATIC, window_cycles, coverage),
+                ),
+                "Dyn-DMS+Dyn-AMS": SchedulerConfig(
+                    dms=_dms(DMSMode.DYNAMIC, window_cycles,
+                             windows_per_phase),
+                    ams=_ams(AMSMode.DYNAMIC, window_cycles, coverage),
+                ),
+            }
+        )
+    return schemes
+
+
+def ams_only(th_rbl: int, *, coverage: float = 0.10) -> SchedulerConfig:
+    """AMS(Th_RBL) with no delay (Figs. 7 and 11)."""
+    return SchedulerConfig(
+        ams=AMSConfig(
+            mode=AMSMode.STATIC,
+            static_th_rbl=th_rbl,
+            coverage_limit=coverage,
+        )
+    )
+
+
+def dms_only(delay: int) -> SchedulerConfig:
+    """DMS(X) with no approximation (Figs. 4, 5, 7, 13)."""
+    return SchedulerConfig(
+        dms=DMSConfig(mode=DMSMode.STATIC, static_delay=delay)
+    )
+
+
+def dms_plus_ams(delay: int, th_rbl: int,
+                 *, coverage: float = 0.10) -> SchedulerConfig:
+    """Static DMS(X) + AMS(Th) (Fig. 7(b)'s combined case)."""
+    return SchedulerConfig(
+        dms=DMSConfig(mode=DMSMode.STATIC, static_delay=delay),
+        ams=AMSConfig(
+            mode=AMSMode.STATIC,
+            static_th_rbl=th_rbl,
+            coverage_limit=coverage,
+        ),
+    )

@@ -1,0 +1,21 @@
+"""Memory scheduling: FR-FCFS baseline and the lazy (DMS + AMS) scheduler."""
+
+from repro.sched.ams import AMSUnit
+from repro.sched.controller import MemoryController
+from repro.sched.dms import DMSUnit
+from repro.sched.overhead import (
+    HardwareBudget,
+    full_lazy_scheduler_overhead,
+    scheduler_overhead,
+)
+from repro.sched.pending_queue import PendingQueue
+
+__all__ = [
+    "AMSUnit",
+    "DMSUnit",
+    "HardwareBudget",
+    "MemoryController",
+    "PendingQueue",
+    "full_lazy_scheduler_overhead",
+    "scheduler_overhead",
+]

@@ -1,0 +1,313 @@
+"""The memory controller: FR-FCFS + lazy (DMS/AMS) scheduling.
+
+This module implements the design of paper Fig. 9. Request flow:
+
+* (A) L2 misses arrive via :meth:`MemoryController.submit` and buffer in
+  the pending queue.
+* (B) The service loop issues FR-FCFS commands: row-buffer hits first
+  (oldest hit first), otherwise the oldest request per bank opens its
+  row — *gated by the DMS unit* (C): the oldest request must have aged at
+  least X cycles before its activation may issue.
+* (D/E) When a row switch is about to happen, the AMS unit may instead
+  drop the request and all pending same-row requests; the VP unit picks a
+  donor line and the requests are answered immediately with approximate
+  data.
+* (F) Normally-served reads reply when their data burst completes.
+
+The controller is event-driven: the service loop issues every command
+whose ready time has arrived and schedules a wake-up at the earliest time
+the next command could issue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import AMSMode, DMSMode, SchedulerConfig
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+from repro.sched.ams import AMSUnit
+from repro.sched.dms import DMSUnit
+from repro.sched.pending_queue import PendingQueue
+from repro.sim.engine import Engine
+from repro.vp.predictor import DropRecord, ValuePredictor
+
+#: reply_fn(request, approx, donor_line_addr) — called at data-return time.
+ReplyFn = Callable[[MemoryRequest, bool, Optional[int]], None]
+
+_EPS = 1e-9
+
+# Candidate kinds, also used as FR-FCFS priority (hits before switches).
+# PRE and ACT are the two halves of a row switch, issued as independent
+# commands so other banks can use the command bus during tRP/tRRD windows.
+_COL = 0
+_PRE = 1
+_ACT = 1
+
+
+class MemoryController:
+    """One per memory channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        *,
+        config: GPUConfig,
+        sched_config: SchedulerConfig,
+        engine: Engine,
+        reply_fn: ReplyFn,
+        predictor: Optional[ValuePredictor] = None,
+    ) -> None:
+        self.channel = channel
+        self.config = config
+        self.engine = engine
+        self.reply_fn = reply_fn
+        self.predictor = predictor
+        self.queue = PendingQueue(
+            config.pending_queue_size, config.mapping.banks_per_channel
+        )
+        self.dms = DMSUnit(sched_config.dms)
+        self.ams = AMSUnit(sched_config.ams)
+        self.drops: list[DropRecord] = []
+        self._next_wake: Optional[float] = None
+        self._line_bytes = config.l2.line_bytes
+        self.ams.set_halted(self.dms.wants_ams_halted)
+        # The profiling tick follows the *dynamic* units' window size;
+        # a disabled unit's (default) window must not stretch it.
+        windows = []
+        if sched_config.dms.mode is DMSMode.DYNAMIC:
+            windows.append(sched_config.dms.window_cycles)
+        if sched_config.ams.mode is AMSMode.DYNAMIC:
+            windows.append(sched_config.ams.window_cycles)
+        self._window_cycles = min(windows) if windows else max(
+            sched_config.dms.window_cycles, sched_config.ams.window_cycles
+        )
+        self._needs_windows = (
+            sched_config.dms.mode is DMSMode.DYNAMIC
+            or sched_config.ams.mode is AMSMode.DYNAMIC
+        )
+        # Profiling ticks are armed lazily on traffic and disarmed only
+        # after a *fully idle* window (no arrivals, no bus activity), so
+        # an idle simulation can terminate while bursty delayed traffic —
+        # whose gaps are part of the utilisation being measured — keeps
+        # the profiler running.
+        self._ticks_armed = False
+        self._window_arrivals = 0
+        # Baseline-policy ablations (Section II-C justification).
+        self._fcfs = sched_config.arbiter == "fcfs"
+        self._close_row = sched_config.row_policy == "close"
+
+    # ------------------------------------------------------------------
+    # Ingress (A)
+    # ------------------------------------------------------------------
+    def submit(self, request: MemoryRequest) -> None:
+        """A request (an L2 miss or write-back) arrives at this MC."""
+        now = self.engine.now
+        request.arrival_time = now
+        stats = self.channel.stats
+        if request.is_write:
+            stats.writes_arrived += 1
+        else:
+            stats.reads_arrived += 1
+            self.ams.on_read_arrival()
+        self.queue.offer(request, now)
+        self._window_arrivals += 1
+        if self._needs_windows and not self._ticks_armed:
+            self._ticks_armed = True
+            self.engine.at(now + self._window_cycles, self._window_tick)
+        self._service()
+
+    # ------------------------------------------------------------------
+    # Profiling window tick (Dyn-DMS / Dyn-AMS)
+    # ------------------------------------------------------------------
+    def _window_tick(self) -> None:
+        now = self.engine.now
+        busy = self.channel.stats.bus.busy_since_last_query(now)
+        bwutil = busy / self._window_cycles
+        self.dms.on_window(bwutil)
+        self.ams.set_halted(self.dms.wants_ams_halted)
+        self.ams.on_window()
+        idle_window = (
+            self.queue.empty and self._window_arrivals == 0 and busy == 0.0
+        )
+        self._window_arrivals = 0
+        if idle_window:
+            # Disarm after a dead window; the next submit() re-arms.
+            self._ticks_armed = False
+        else:
+            self.engine.at(now + self._window_cycles, self._window_tick)
+        # A lowered delay may make gated activations eligible right away.
+        self._service()
+
+    # ------------------------------------------------------------------
+    # Service loop (B)
+    # ------------------------------------------------------------------
+    def _service(self) -> None:
+        now = self.engine.now
+        while True:
+            if self.channel.refresh_due(now):
+                self.channel.issue_refresh(now)
+                continue
+            best_key: Optional[tuple[float, int, float]] = None
+            best_kind = ""
+            best_bank = None
+            best_req: Optional[MemoryRequest] = None
+
+            def consider(key, kind, bank, req) -> None:
+                nonlocal best_key, best_kind, best_bank, best_req
+                if best_key is None or key < best_key:
+                    best_key, best_kind = key, kind
+                    best_bank, best_req = bank, req
+
+            for bank_idx in self.queue.banks_with_pending():
+                bank = self.channel.banks[bank_idx]
+                if bank.is_open and not self._fcfs:
+                    hit = self.queue.oldest_hit_for(bank_idx, bank.open_row)
+                    if hit is not None:
+                        ready = self.channel.column_ready_time(
+                            bank, hit.is_write, now
+                        )
+                        consider(
+                            (ready, _COL, hit.enqueue_time), "col", bank, hit
+                        )
+                        continue
+                oldest = self.queue.oldest_for_bank(bank_idx)
+                if oldest is None:
+                    continue
+                if (
+                    self._fcfs
+                    and bank.is_open
+                    and oldest.row == bank.open_row
+                ):
+                    # Strict FCFS: only the *oldest* request may issue,
+                    # even when younger row hits are pending.
+                    ready = self.channel.column_ready_time(
+                        bank, oldest.is_write, now
+                    )
+                    consider(
+                        (ready, _COL, oldest.enqueue_time), "col", bank,
+                        oldest,
+                    )
+                    continue
+                # The DMS gate applies to the command that commits to
+                # opening a new row: PRE for an open bank, ACT otherwise.
+                gate = self.dms.earliest_eligible(oldest.enqueue_time)
+                if bank.is_open:
+                    ready = max(
+                        self.channel.precharge_ready_time(bank, now), gate
+                    )
+                    consider(
+                        (ready, _PRE, oldest.enqueue_time), "pre", bank, oldest
+                    )
+                else:
+                    ready = max(
+                        self.channel.activate_ready_time(bank, now), gate
+                    )
+                    consider(
+                        (ready, _ACT, oldest.enqueue_time), "act", bank, oldest
+                    )
+            if self._close_row:
+                # Close-row policy: precharge any open bank with no
+                # pending hits, without waiting for a row-opening request.
+                for bank in self.channel.banks:
+                    if not bank.is_open:
+                        continue
+                    if self.queue.oldest_hit_for(
+                        bank.index, bank.open_row
+                    ) is not None:
+                        continue
+                    ready = self.channel.precharge_ready_time(bank, now)
+                    consider((ready, _PRE, float("inf")), "close", bank,
+                             None)
+            if best_key is None:
+                return  # queue empty: next arrival re-kicks us
+            ready = min(best_key[0], self.channel.next_refresh_time())
+            if ready > now + _EPS:
+                self._wake_at(ready)
+                return
+            if best_kind == "col":
+                self._issue_column(best_bank, best_req)
+            elif best_kind == "close":
+                self.channel.issue_precharge(best_bank, now)
+            elif best_kind == "pre":
+                # Dropping instead of precharging leaves the row open.
+                if self.ams.may_drop(self.queue, best_bank.index,
+                                     best_req.row):
+                    self._drop_row(best_bank.index, best_req.row)
+                else:
+                    self.channel.issue_precharge(best_bank, now)
+            else:  # "act"
+                if self.ams.may_drop(self.queue, best_bank.index,
+                                     best_req.row):
+                    self._drop_row(best_bank.index, best_req.row)
+                else:
+                    self.channel.issue_activate(best_bank, best_req.row, now)
+
+    def _issue_column(self, bank, request: MemoryRequest) -> None:
+        now = self.engine.now
+        _, data_end = self.channel.issue_column(
+            bank, request.is_write, now
+        )
+        self.queue.remove(request, now)
+        if not request.is_write:
+            if self.predictor is not None:
+                self.predictor.on_fill(request.addr // self._line_bytes)
+            self.engine.at(
+                data_end, lambda r=request: self.reply_fn(r, False, None)
+            )
+
+    def _drop_row(self, bank_idx: int, row: int) -> None:
+        """Drop every pending request to (bank, row); VP answers them.
+
+        The paper drops one request per memory cycle; we remove them from
+        the queue atomically (avoiding re-decisions on a half-dropped row)
+        and stagger the replies one cycle apart to preserve the timing.
+        """
+        now = self.engine.now
+        victims = self.queue.hits_for(bank_idx, row)
+        for i, victim in enumerate(victims):
+            self.queue.remove(victim, now)
+            donor = (
+                self.predictor.predict(victim)
+                if self.predictor is not None
+                else None
+            )
+            self.drops.append(
+                DropRecord(
+                    rid=victim.rid,
+                    addr=victim.addr,
+                    tag=victim.tag,
+                    donor_line_addr=donor,
+                    time=now + i,
+                    channel=self.channel.channel_id,
+                )
+            )
+            self.engine.at(
+                now + i,
+                lambda r=victim, d=donor: self.reply_fn(r, True, d),
+            )
+        self.ams.on_drop(len(victims))
+        self.channel.stats.requests_dropped += len(victims)
+
+    # ------------------------------------------------------------------
+    def _wake_at(self, time: float) -> None:
+        if self._next_wake is not None and self._next_wake <= time + _EPS:
+            return
+        self._next_wake = time
+        self.engine.at(time, self._on_wake)
+
+    def _on_wake(self) -> None:
+        if (
+            self._next_wake is not None
+            and self.engine.now + _EPS < self._next_wake
+        ):
+            return  # superseded by an earlier wake; a later event exists
+        self._next_wake = None
+        self._service()
+
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no requests are pending or deferred at this MC."""
+        return self.queue.empty

@@ -1,0 +1,16 @@
+"""Simulation driver: event engine, system assembly, reports."""
+
+from repro.sim.engine import Engine
+from repro.sim.report import L2Summary, SimReport
+
+__all__ = ["Engine", "GPUSystem", "L2Summary", "SimReport", "simulate"]
+
+
+def __getattr__(name: str):
+    # GPUSystem/simulate import the gpu frontend, which itself imports
+    # repro.sim.engine; loading them lazily breaks the package-init cycle.
+    if name in ("GPUSystem", "simulate"):
+        from repro.sim import system
+
+        return getattr(system, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

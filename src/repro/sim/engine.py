@@ -1,0 +1,72 @@
+"""Discrete-event simulation engine.
+
+A single global event heap ordered by (time, insertion sequence); all
+times are in *memory clock cycles* (see DESIGN.md §5). Insertion order
+breaks ties, making runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+Event = Callable[[], None]
+
+
+class Engine:
+    """Deterministic event-driven simulation core."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.events_processed = 0
+
+    def at(self, time: float, fn: Event) -> None:
+        """Schedule ``fn`` to run at absolute ``time`` (clamped to now)."""
+        if time < self.now:
+            time = self.now
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Event) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.at(self.now + delay, fn)
+
+    @property
+    def idle(self) -> bool:
+        """True when no events remain."""
+        return not self._heap
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the heap drains, ``until`` is passed, or
+        ``max_events`` have run (a deadlock/runaway guard)."""
+        processed = 0
+        while self._heap:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "possible simulation livelock"
+                )
+        if until is not None and self.now < until:
+            self.now = until

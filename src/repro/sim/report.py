@@ -1,0 +1,155 @@
+"""Simulation result container and derived metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.energy import DRAMEnergyParams
+from repro.dram.energy import EnergyBreakdown, compute_energy
+from repro.dram.stats import ChannelStats, merge_rbl_histograms
+from repro.vp.predictor import DropRecord
+
+
+@dataclass
+class L2Summary:
+    """Aggregate L2 statistics across slices."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class SimReport:
+    """Everything a simulation run produced.
+
+    Paper metrics (Section II-D):
+
+    * ``activations``, ``avg_rbl``, ``rbl_histogram`` — row-locality;
+    * ``ipc`` — instructions per *core* cycle;
+    * ``row_energy_nj`` — the headline energy metric;
+    * ``coverage`` — dropped / arrived global reads;
+    * ``bwutil`` — DRAM data-bus utilisation (Dyn-DMS's proxy for IPC).
+    """
+
+    workload: str
+    scheme: str
+    elapsed_mem_cycles: float
+    elapsed_core_cycles: float
+    total_instructions: int
+    channel_stats: list[ChannelStats]
+    drops: list[DropRecord]
+    l2: L2Summary
+    energy: EnergyBreakdown
+    energy_params: DRAMEnergyParams
+    #: Mean DMS delay in force at phase ends (diagnostics; Dyn-DMS only).
+    final_dms_delays: list[float] = field(default_factory=list)
+    final_th_rbls: list[int] = field(default_factory=list)
+    #: Application error, filled in by the approximation replay pipeline.
+    application_error: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Instructions per core cycle."""
+        if self.elapsed_core_cycles <= 0:
+            return 0.0
+        return self.total_instructions / self.elapsed_core_cycles
+
+    @property
+    def activations(self) -> int:
+        """Total row activations across channels."""
+        return sum(s.activations for s in self.channel_stats)
+
+    @property
+    def requests_served(self) -> int:
+        """Column accesses served by the DRAM banks."""
+        return sum(s.requests_served for s in self.channel_stats)
+
+    @property
+    def requests_dropped(self) -> int:
+        """Requests answered by the VP unit instead of DRAM."""
+        return sum(s.requests_dropped for s in self.channel_stats)
+
+    @property
+    def reads_arrived(self) -> int:
+        """Global reads that reached the memory controllers."""
+        return sum(s.reads_arrived for s in self.channel_stats)
+
+    @property
+    def avg_rbl(self) -> float:
+        """Average row buffer locality (served requests / activations)."""
+        acts = self.activations
+        return self.requests_served / acts if acts else 0.0
+
+    @property
+    def rbl_histogram(self) -> Counter:
+        """Merged RBL histogram over all channels."""
+        return merge_rbl_histograms(self.channel_stats)
+
+    @property
+    def coverage(self) -> float:
+        """Prediction coverage: dropped / arrived global reads."""
+        arrived = self.reads_arrived
+        return self.requests_dropped / arrived if arrived else 0.0
+
+    @property
+    def row_energy_nj(self) -> float:
+        """Row (activate+restore+precharge) energy."""
+        return self.energy.row_nj
+
+    @property
+    def bwutil(self) -> float:
+        """Mean DRAM data-bus utilisation over the run."""
+        if self.elapsed_mem_cycles <= 0:
+            return 0.0
+        busy = sum(s.bus.total_busy for s in self.channel_stats)
+        return busy / (self.elapsed_mem_cycles * len(self.channel_stats))
+
+    # ------------------------------------------------------------------
+    def normalized_row_energy(self, baseline: "SimReport") -> float:
+        """Row energy relative to a baseline run."""
+        if baseline.row_energy_nj <= 0:
+            return 1.0
+        return self.row_energy_nj / baseline.row_energy_nj
+
+    def normalized_ipc(self, baseline: "SimReport") -> float:
+        """IPC relative to a baseline run."""
+        if baseline.ipc <= 0:
+            return 1.0
+        return self.ipc / baseline.ipc
+
+    def normalized_activations(self, baseline: "SimReport") -> float:
+        """Activation count relative to a baseline run."""
+        if baseline.activations <= 0:
+            return 1.0
+        return self.activations / baseline.activations
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A short human-readable digest."""
+        lines = [
+            f"workload={self.workload} scheme={self.scheme}",
+            f"  IPC            {self.ipc:.3f}"
+            f"  (instr {self.total_instructions},"
+            f" core cycles {self.elapsed_core_cycles:.0f})",
+            f"  activations    {self.activations}",
+            f"  avg RBL        {self.avg_rbl:.2f}",
+            f"  row energy     {self.row_energy_nj / 1e3:.2f} uJ",
+            f"  coverage       {self.coverage:.1%}"
+            f"  (drops {self.requests_dropped})",
+            f"  BW utilisation {self.bwutil:.1%}",
+            f"  L2 hit rate    {self.l2.hit_rate:.1%}",
+        ]
+        if self.application_error is not None:
+            lines.append(f"  app error      {self.application_error:.2%}")
+        return "\n".join(lines)

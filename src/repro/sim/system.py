@@ -1,0 +1,255 @@
+"""Full-system assembly: SM frontend + crossbars + L2 slices + MCs.
+
+This wires the substrates into the architecture of paper Fig. 1/9 and
+exposes :func:`simulate`, the package's main entry point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cache.l2cache import DIRTY_FILL, L2Cache, L2Outcome
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import SchedulerConfig, baseline_scheduler
+from repro.dram.channel import Channel
+from repro.dram.energy import compute_energy
+from repro.dram.request import MemoryRequest
+from repro.errors import SimulationError
+from repro.gpu.frontend import GPUFrontend
+from repro.gpu.interconnect import Crossbar
+from repro.gpu.warp import Access, Warp, WarpOp
+from repro.sched.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.report import L2Summary, SimReport
+from repro.vp.predictor import make_predictor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.workloads.base import Workload
+
+#: Retry interval (memory cycles) when an L2 slice's MSHR file is full.
+_MSHR_RETRY_CYCLES = 8.0
+
+
+class GPUSystem:
+    """One simulated GPU (Table I baseline unless configured otherwise)."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        scheduler: Optional[SchedulerConfig] = None,
+        *,
+        record_activations: bool = True,
+        log_commands: bool = False,
+    ) -> None:
+        self.config = config or GPUConfig()
+        self.scheduler = scheduler or baseline_scheduler()
+        self.config.validate()
+        self.scheduler.validate()
+        self.engine = Engine()
+        mapping = self.config.mapping
+        self.channels = [
+            Channel(
+                ch,
+                mapping,
+                self.config.timings,
+                record_activations=record_activations,
+                log_commands=log_commands,
+                refresh_enabled=self.config.refresh_enabled,
+            )
+            for ch in range(mapping.num_channels)
+        ]
+        self.l2s = [L2Cache(self.config.l2) for _ in self.channels]
+        self.controllers = [
+            MemoryController(
+                channel,
+                config=self.config,
+                sched_config=self.scheduler,
+                engine=self.engine,
+                reply_fn=self._make_reply_fn(ch),
+                predictor=make_predictor(self.scheduler.vp, self.l2s[ch]),
+            )
+            for ch, channel in enumerate(self.channels)
+        ]
+        icnt_mem = self.config.core_to_mem(
+            self.config.interconnect_latency_core
+        )
+        self._req_xbar = Crossbar(
+            self.engine, mapping.num_channels, latency_mem_cycles=icnt_mem
+        )
+        self._reply_xbar = Crossbar(
+            self.engine, self.config.num_sms, latency_mem_cycles=icnt_mem
+        )
+        self._l2_latency_mem = self.config.core_to_mem(
+            self.config.l2.hit_latency_core
+        )
+        self.frontend: Optional[GPUFrontend] = None
+
+    # ------------------------------------------------------------------
+    # Request path: SM -> crossbar -> L2 -> MC
+    # ------------------------------------------------------------------
+    def _mem_access(self, access: Access, warp: Warp) -> None:
+        ch = self.config.mapping.decode(access.addr).channel
+        self._req_xbar.deliver(
+            ch, lambda: self._l2_access(ch, access, warp)
+        )
+
+    def _l2_access(self, ch: int, access: Access, warp: Warp) -> None:
+        l2 = self.l2s[ch]
+        waiter = DIRTY_FILL if access.is_write else warp
+        result = l2.access(
+            access.addr,
+            is_write=access.is_write,
+            full_line=access.full_line,
+            waiter=waiter,
+        )
+        if result.outcome is L2Outcome.HIT:
+            if not access.is_write:
+                self.engine.after(
+                    self._l2_latency_mem,
+                    lambda: self._reply_to_warp(warp),
+                )
+        elif result.outcome is L2Outcome.MISS:
+            request = MemoryRequest.from_address(
+                access.addr,
+                is_write=False,
+                mapping=self.config.mapping,
+                # Store-fetches must never be approximated away: their
+                # merged store data would be lost (DESIGN.md §5).
+                approximable=access.approximable and not access.is_write,
+                tag=access.tag,
+            )
+            self.engine.after(
+                self._l2_latency_mem,
+                lambda: self.controllers[ch].submit(request),
+            )
+        elif result.outcome is L2Outcome.MISS_NO_FETCH:
+            if result.writeback_line is not None:
+                self._submit_writeback(ch, result.writeback_line)
+        elif result.outcome is L2Outcome.STALL:
+            self.engine.after(
+                _MSHR_RETRY_CYCLES,
+                lambda: self._l2_access(ch, access, warp),
+            )
+        # MISS_MERGED: the waiter is registered; nothing more to do.
+
+    def _submit_writeback(self, ch: int, line_addr: int) -> None:
+        addr = line_addr * self.config.l2.line_bytes
+        request = MemoryRequest.from_address(
+            addr, is_write=True, mapping=self.config.mapping
+        )
+        if request.channel != ch:
+            raise SimulationError(
+                "write-back decoded to a different channel: "
+                f"{request.channel} != {ch}"
+            )
+        self.controllers[ch].submit(request)
+
+    # ------------------------------------------------------------------
+    # Reply path: MC -> L2 fill -> crossbar -> SM
+    # ------------------------------------------------------------------
+    def _make_reply_fn(self, ch: int):
+        def reply(request: MemoryRequest, approx: bool, donor) -> None:
+            if request.is_write:
+                return
+            l2 = self.l2s[ch]
+            if approx:
+                # Dropped request: answer waiters, do not fill the L2.
+                waiters = l2.cancel_fill(request.addr)
+            else:
+                waiters, writeback = l2.fill(request.addr)
+                if writeback is not None:
+                    self._submit_writeback(ch, writeback)
+            for warp in waiters:
+                self._reply_xbar.deliver(
+                    warp.sm_id,
+                    lambda w=warp: self.frontend.on_load_reply(w),
+                )
+
+        return reply
+
+    def _reply_to_warp(self, warp: Warp) -> None:
+        self._reply_xbar.deliver(
+            warp.sm_id, lambda: self.frontend.on_load_reply(warp)
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        warp_streams: Sequence[Sequence[WarpOp]],
+        *,
+        workload_name: str = "custom",
+        max_events: int = 200_000_000,
+    ) -> SimReport:
+        """Execute the warp streams to completion and build the report."""
+        self.frontend = GPUFrontend(
+            self.engine, self.config, warp_streams, self._mem_access
+        )
+        self.frontend.start()
+        self.engine.run(max_events=max_events)
+        if not self.frontend.all_finished:
+            stuck = self.frontend.unfinished()
+            raise SimulationError(
+                f"simulation drained with {len(stuck)} unfinished warps "
+                f"(first: warp {stuck[0].warp_id}, state {stuck[0].state})"
+            )
+        for channel in self.channels:
+            channel.finalize()
+        elapsed_mem = self.frontend.finish_time_mem
+        l2 = L2Summary(
+            hits=sum(c.hits for c in self.l2s),
+            misses=sum(c.misses for c in self.l2s),
+            writebacks=sum(c.writebacks for c in self.l2s),
+            fills=sum(c.fills for c in self.l2s),
+        )
+        stats = [channel.stats for channel in self.channels]
+        energy = compute_energy(
+            stats,
+            self.config.energy,
+            elapsed_mem,
+            self.config.mem_clock_mhz,
+        )
+        drops = [d for mc in self.controllers for d in mc.drops]
+        return SimReport(
+            workload=workload_name,
+            scheme=self.scheduler.name,
+            elapsed_mem_cycles=elapsed_mem,
+            elapsed_core_cycles=self.config.mem_to_core(elapsed_mem),
+            total_instructions=self.frontend.total_instructions,
+            channel_stats=stats,
+            drops=drops,
+            l2=l2,
+            energy=energy,
+            energy_params=self.config.energy,
+            final_dms_delays=[mc.dms.current_delay for mc in self.controllers],
+            final_th_rbls=[mc.ams.th_rbl for mc in self.controllers],
+        )
+
+
+def simulate(
+    workload: "Workload",
+    *,
+    scheduler: Optional[SchedulerConfig] = None,
+    config: Optional[GPUConfig] = None,
+    record_activations: bool = True,
+    measure_error: bool = False,
+) -> SimReport:
+    """Simulate ``workload`` under ``scheduler`` on the Table I GPU.
+
+    With ``measure_error=True`` the AMS drop log is replayed through the
+    workload's kernel (values substituted by the VP's donor lines) and
+    ``report.application_error`` is filled in.
+    """
+    system = GPUSystem(
+        config=config,
+        scheduler=scheduler,
+        record_activations=record_activations,
+    )
+    streams = workload.warp_streams(system.config)
+    report = system.run(streams, workload_name=workload.name)
+    if measure_error:
+        from repro.approx.replay import measure_application_error
+
+        report.application_error = measure_application_error(
+            workload, report.drops, config=system.config
+        )
+    return report

@@ -1,0 +1,21 @@
+"""Value-prediction unit for AMS-dropped requests."""
+
+from repro.vp.predictor import (
+    DropRecord,
+    LastValuePredictor,
+    NearestLinePredictor,
+    OraclePredictor,
+    ValuePredictor,
+    ZeroPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "DropRecord",
+    "LastValuePredictor",
+    "NearestLinePredictor",
+    "OraclePredictor",
+    "ValuePredictor",
+    "ZeroPredictor",
+    "make_predictor",
+]

@@ -1,0 +1,121 @@
+"""Value-prediction unit (paper Section IV-D).
+
+The VP unit approximates the data of requests dropped by AMS. During
+simulation it only needs to decide *which donor line* supplies the value
+(data contents live in the workload's arrays, not the simulator); the
+approximation-replay pipeline (:mod:`repro.approx.replay`) later
+substitutes the donor line's values into the kernel and measures the
+application error end to end.
+
+``predict`` therefore returns the donor *line address* (or ``None`` when
+no donor is available, in which case replay falls back to zeros — the
+worst case).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.l2cache import L2Cache
+from repro.config.scheduler import VPConfig
+from repro.dram.request import MemoryRequest
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class DropRecord:
+    """One dropped-and-approximated request, for replay and accounting."""
+
+    rid: int
+    addr: int
+    tag: object
+    donor_line_addr: Optional[int]
+    time: float
+    channel: int
+
+
+class ValuePredictor(abc.ABC):
+    """Strategy deciding the donor line for a dropped request."""
+
+    #: Name used in :class:`~repro.config.scheduler.VPConfig`.
+    kind: str = ""
+
+    @abc.abstractmethod
+    def predict(self, request: MemoryRequest) -> Optional[int]:
+        """Donor line address for ``request``, or None if unavailable."""
+
+    def on_fill(self, line_addr: int) -> None:
+        """Observe a line returning from DRAM (hook for history-based
+        predictors; default no-op)."""
+
+
+class NearestLinePredictor(ValuePredictor):
+    """The paper's VP: nearest-address resident line in nearby L2 sets.
+
+    "In order to predict the values for the dropped requests, we search in
+    the nearby cache sets of the L2 cache and use the values from cache
+    lines with nearest addresses as their approximate values."
+    """
+
+    kind = "nearest_line"
+
+    def __init__(self, l2: L2Cache, search_radius_sets: int) -> None:
+        self._l2 = l2
+        self._radius = search_radius_sets
+
+    def predict(self, request: MemoryRequest) -> Optional[int]:
+        return self._l2.find_nearest_resident(request.addr, self._radius)
+
+
+class LastValuePredictor(ValuePredictor):
+    """Ablation: reuse the most recent line filled from DRAM."""
+
+    kind = "last_value"
+
+    def __init__(self) -> None:
+        self._last_line: Optional[int] = None
+
+    def predict(self, request: MemoryRequest) -> Optional[int]:
+        return self._last_line
+
+    def on_fill(self, line_addr: int) -> None:
+        self._last_line = line_addr
+
+
+class ZeroPredictor(ValuePredictor):
+    """Ablation: always predict zero (no donor line)."""
+
+    kind = "zero"
+
+    def predict(self, request: MemoryRequest) -> Optional[int]:
+        return None
+
+
+class OraclePredictor(ValuePredictor):
+    """Ablation: return the request's own line — exact values.
+
+    Isolates the scheduling benefit of AMS from the approximation error.
+    """
+
+    kind = "oracle"
+
+    def __init__(self, line_bytes: int) -> None:
+        self._line_bytes = line_bytes
+
+    def predict(self, request: MemoryRequest) -> Optional[int]:
+        return request.addr // self._line_bytes
+
+
+def make_predictor(config: VPConfig, l2: L2Cache) -> ValuePredictor:
+    """Build the predictor selected by ``config`` for one L2 slice."""
+    if config.kind == "nearest_line":
+        return NearestLinePredictor(l2, config.search_radius_sets)
+    if config.kind == "last_value":
+        return LastValuePredictor()
+    if config.kind == "zero":
+        return ZeroPredictor()
+    if config.kind == "oracle":
+        return OraclePredictor(l2.line_bytes)
+    raise ConfigError(f"unknown value predictor kind: {config.kind!r}")

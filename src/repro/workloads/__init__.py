@@ -1,0 +1,31 @@
+"""The twenty Table II GPGPU applications: kernels + trace generators."""
+
+from repro.workloads.base import Workload
+from repro.workloads.characteristics import (
+    GROUPS,
+    TABLE_II,
+    AppFeatures,
+    classify_act_sensitivity,
+    classify_delay_tolerance,
+    classify_error_tolerance,
+    classify_th_rbl_sensitivity,
+    classify_thrashing,
+)
+from repro.workloads.layout import AddressSpace, ArraySpec
+from repro.workloads.registry import get_workload, list_workloads
+
+__all__ = [
+    "AddressSpace",
+    "AppFeatures",
+    "ArraySpec",
+    "GROUPS",
+    "TABLE_II",
+    "Workload",
+    "classify_act_sensitivity",
+    "classify_delay_tolerance",
+    "classify_error_tolerance",
+    "classify_th_rbl_sensitivity",
+    "classify_thrashing",
+    "get_workload",
+    "list_workloads",
+]

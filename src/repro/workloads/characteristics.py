@@ -1,0 +1,132 @@
+"""Tables II and III of the paper: application features and thresholds.
+
+Table II lists the twenty evaluated applications with qualitative feature
+levels; Table III defines the quantitative thresholds behind each level.
+The benchmark ``bench_table2_characterization.py`` measures every feature
+on our traces and classifies it with these thresholds, comparing against
+the paper's published levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Level = str  # "Low" | "Medium" | "High" | "NA"
+
+
+@dataclass(frozen=True, slots=True)
+class AppFeatures:
+    """One Table II row."""
+
+    name: str
+    description: str
+    input_kind: str
+    group: int
+    thrashing: Level
+    delay_tolerance: Level
+    act_sensitivity: Level
+    th_rbl_sensitivity: Level
+    error_tolerance: Level
+
+
+#: Table II, verbatim.
+TABLE_II: dict[str, AppFeatures] = {
+    f.name: f
+    for f in [
+        AppFeatures("RAY", "Ray Tracing", "Matrix", 3,
+                    "High", "High", "High", "Low", "High"),
+        AppFeatures("inversek2j", "Inverse kinematics for 2-joint arm",
+                    "Coordinates", 3, "High", "High", "High", "Low", "High"),
+        AppFeatures("newtonraph", "Equation solver", "Image", 4,
+                    "High", "High", "High", "Low", "Low"),
+        AppFeatures("FWT", "Fast Walsh Transform", "Matrix", 4,
+                    "High", "Medium", "High", "High", "Low"),
+        AppFeatures("MVT", "Matrix Vector Product and Transpose", "Matrix",
+                    2, "High", "Medium", "High", "Low", "High"),
+        AppFeatures("jmein", "Triangle intersection detection",
+                    "Coordinates", 2, "High", "Medium", "High", "Low",
+                    "Medium"),
+        AppFeatures("ATAX", "Matrix Transpose, Vector Multiplication",
+                    "Matrix", 4, "High", "Medium", "High", "Low", "Low"),
+        AppFeatures("3DCONV", "3D Convolution", "Matrix", 2,
+                    "High", "Medium", "High", "Low", "Medium"),
+        AppFeatures("CONS", "1D Convolution", "Matrix", 4,
+                    "High", "Medium", "High", "Low", "Low"),
+        AppFeatures("srad", "Speckle Reducing Anisotropic Diffusion",
+                    "Image", 4, "High", "Medium", "High", "Low", "Low"),
+        AppFeatures("LPS", "3D Laplace Solver", "Matrix", 1,
+                    "High", "Medium", "Low", "High", "High"),
+        AppFeatures("BICG", "BiCGStab Linear Solver", "Matrix", 1,
+                    "High", "Low", "High", "High", "Medium"),
+        AppFeatures("SCP", "Scalar products", "Matrix", 1,
+                    "High", "Low", "High", "High", "Medium"),
+        AppFeatures("GEMM", "Matrix Multiplication", "Matrices", 4,
+                    "High", "Low", "Medium", "High", "Low"),
+        AppFeatures("blackscholes", "Black-Scholes Option Pricing",
+                    "Matrix", 4, "Medium", "Medium", "High", "High", "Low"),
+        AppFeatures("2MM", "2 Matrix Multiplications", "Matrices", 4,
+                    "Medium", "Medium", "Medium", "Low", "Low"),
+        AppFeatures("3MM", "3 Matrix Multiplications", "Matrices", 3,
+                    "Low", "High", "High", "Low", "High"),
+        AppFeatures("SLA", "Scan of Large Arrays", "Matrix", 4,
+                    "Low", "High", "Medium", "Low", "Low"),
+        AppFeatures("meanfilter", "Convolution Filter for Noise Reduction",
+                    "Image", 3, "Low", "High", "Low", "Low", "High"),
+        AppFeatures("laplacian", "Image sharpening filter", "Images", 3,
+                    "Low", "Medium", "Low", "Low", "Medium"),
+    ]
+}
+
+#: Group membership derived from Table II (Section V's presentation).
+GROUPS: dict[int, tuple[str, ...]] = {
+    g: tuple(n for n, f in TABLE_II.items() if f.group == g)
+    for g in (1, 2, 3, 4)
+}
+
+
+# ----------------------------------------------------------------------
+# Table III: quantitative thresholds
+# ----------------------------------------------------------------------
+def classify_thrashing(pct_requests_low_rbl: float) -> Level:
+    """% of requests in rows with RBL(1-8): [0,3) Low, [3,10) Medium,
+    [10,100) High."""
+    if pct_requests_low_rbl < 3:
+        return "Low"
+    if pct_requests_low_rbl < 10:
+        return "Medium"
+    return "High"
+
+
+def classify_delay_tolerance(mtd_cycles: float) -> Level:
+    """Maximum Tolerable Delay: [0,256) Low, [256,1024) Medium, else High."""
+    if mtd_cycles < 256:
+        return "Low"
+    if mtd_cycles < 1024:
+        return "Medium"
+    return "High"
+
+
+def classify_act_sensitivity(pct_reduction_at_2048: float) -> Level:
+    """Activation reduction at DMS(2048): [0,10) Low, [10,20) Medium,
+    [20,100) High."""
+    if pct_reduction_at_2048 < 10:
+        return "Low"
+    if pct_reduction_at_2048 < 20:
+        return "Medium"
+    return "High"
+
+
+def classify_th_rbl_sensitivity(pct_extra_reduction: float) -> Level:
+    """Extra activation reduction from lowering Th_RBL below 8:
+    [0,5) Low, [5,100) High."""
+    return "Low" if pct_extra_reduction < 5 else "High"
+
+
+def classify_error_tolerance(app_error_pct: float) -> Level:
+    """Application error at 10 % coverage: [20,inf) Low, [5,20) Medium,
+    [0,5) High."""
+    if app_error_pct >= 20:
+        return "Low"
+    if app_error_pct >= 5:
+        return "Medium"
+    return "High"

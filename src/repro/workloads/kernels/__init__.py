@@ -1,0 +1,1 @@
+"""Kernel-backed implementations of the twenty Table II applications."""

@@ -1,0 +1,57 @@
+"""ATAX — y = A^T (A x) (Polybench).
+
+Table II: Group 4; High thrashing, Medium delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, **Low error tolerance**
+(zero-mean inputs: the double reduction amplifies mispredicted lines, so
+AMS is not applied to this application; DMS-only mode still reduces its
+row energy — paper Fig. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class ATAX(Workload):
+    """A^T A x with rough (error-intolerant) data."""
+
+    name = "ATAX"
+    description = "matrix transpose, vector multiplication"
+    input_kind = "Matrix"
+    group = 4
+
+    def _build(self) -> None:
+        n = self.dim2(1104, multiple=48, minimum=96)
+        self.register("A", rough_field(self.rng, (n, n)),
+                      approximable=True)
+        self.register("x", rough_field(self.rng, n), approximable=True)
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        forward = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(120), lines_per_visit=2, lines_per_op=1,
+            visits_per_row=2, skew_cycles=(600.0, 2000.0),
+            compute=self.cycles(30.0), row_range=(0.0, 0.55),
+        )
+        victims = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(40), lines_per_visit=2, visits_per_row=1,
+            row_range=(0.55, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed,
+        )
+        vec = row_visit_streams(
+            self.space, "x", m,
+            n_warps=self.warps(2), lines_per_visit=2, visits_per_row=1, compute=self.cycles(30.0),
+        )
+        return interleave(forward, victims, vec)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        x = arrays["x"].astype(np.float64)
+        return a.T @ (a @ x)

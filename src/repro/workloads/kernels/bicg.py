@@ -1,0 +1,64 @@
+"""BICG — BiCGStab kernel pair from Polybench: s = A^T r, q = A p.
+
+Table II: Group 1; High thrashing, Low delay tolerance, High activation
+sensitivity, High Th_RBL sensitivity, Medium error tolerance.
+
+Trace shape: the ``q = A p`` pass streams matrix rows while the
+``s = A^T r`` pass makes skewed second visits to the same DRAM rows
+(different lines) — so delay merges them. A sparse single-line
+remainder supplies the RBL(1) mass that Dyn-AMS targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import offset_noise
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class BICG(Workload):
+    """BiCG sub-kernels on an annotated matrix."""
+
+    name = "BICG"
+    description = "BiCGStab linear solver kernels"
+    input_kind = "Matrix"
+    group = 1
+
+    def _build(self) -> None:
+        n = self.dim2(960, multiple=48, minimum=96)
+        a = offset_noise(self.rng, (n, n), offset=0.5)
+        self.register("A", a, approximable=True)
+        self.register("p", offset_noise(self.rng, n, offset=0.5),
+                      approximable=True)
+        self.register("r", offset_noise(self.rng, n, offset=0.5),
+                      approximable=True)
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        row_pass = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(56), lines_per_visit=3, visits_per_row=2,
+            skew_cycles=1100.0, compute=self.cycles(30.0), row_range=(0.0, 0.52),
+        )
+        transpose_strays = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(14), lines_per_visit=1, visits_per_row=1,
+            row_range=(0.52, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed,
+        )
+        vectors = row_visit_streams(
+            self.space, "p", m,
+            n_warps=self.warps(2), lines_per_visit=2, visits_per_row=1, compute=self.cycles(30.0),
+        )
+        return interleave(row_pass, transpose_strays, vectors)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        p = arrays["p"].astype(np.float64)
+        r = arrays["r"].astype(np.float64)
+        q = a @ p
+        s = a.T @ r
+        return np.concatenate([q, s])

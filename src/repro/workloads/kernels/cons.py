@@ -1,0 +1,52 @@
+"""CONS — 1D convolution (Polybench).
+
+Table II: Group 4; High thrashing, Medium delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+
+Trace shape: thread blocks gather scattered two-line windows (halo +
+body) and a skewed partner pass re-reads each row — High activation
+sensitivity with the low-RBL mass at RBL(2), not RBL(1) (Th sensitivity
+Low).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class CONS(Workload):
+    """5-tap 1D convolution over a rough signal."""
+
+    name = "CONS"
+    description = "1D convolution"
+    input_kind = "Matrix"
+    group = 4
+
+    TAPS = np.array([0.1, 0.2, 0.4, 0.2, 0.1], dtype=np.float64)
+
+    def _build(self) -> None:
+        n = self.dim(491520, multiple=3072)
+        self.register("X", rough_field(self.rng, n), approximable=True)
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        body = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(56), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(500.0, 1800.0), compute=self.cycles(40.0),
+        )
+        halo = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(24), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(700.0, 2200.0), compute=self.cycles(40.0), line_offset=4,
+        )
+        return interleave(body, halo)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        x = arrays["X"].astype(np.float64)
+        return np.convolve(x, self.TAPS, mode="same")

@@ -1,0 +1,56 @@
+"""3DCONV — 3D convolution (Polybench).
+
+Table II: Group 2; High thrashing, Medium delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, Medium error tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import offset_noise
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class Conv3D(Workload):
+    """3x3x3 convolution over a mixed-smoothness volume."""
+
+    name = "3DCONV"
+    description = "3D convolution"
+    input_kind = "Matrix"
+    group = 2
+
+    def _build(self) -> None:
+        side = self.dim3(96, multiple=12, minimum=24)
+        volume = offset_noise(self.rng, (side, side, side), offset=0.5)
+        self.register("V", volume, approximable=True)
+        self.side = side
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        planes = row_visit_streams(
+            self.space, "V", m,
+            n_warps=self.warps(48), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(500.0, 1800.0), compute=self.cycles(45.0),
+        )
+        halos = row_visit_streams(
+            self.space, "V", m,
+            n_warps=self.warps(28), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(700.0, 2200.0), compute=self.cycles(45.0), line_offset=4,
+        )
+        return interleave(planes, halos)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        v = arrays["V"].astype(np.float64)
+        out = np.zeros_like(v)
+        weights = {
+            (0, 0, 0): 0.4,
+            (1, 0, 0): 0.1, (-1, 0, 0): 0.1,
+            (0, 1, 0): 0.1, (0, -1, 0): 0.1,
+            (0, 0, 1): 0.1, (0, 0, -1): 0.1,
+        }
+        for (dz, dy, dx), w in weights.items():
+            out += w * np.roll(v, (dz, dy, dx), axis=(0, 1, 2))
+        return out

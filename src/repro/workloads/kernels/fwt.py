@@ -1,0 +1,68 @@
+"""FWT — fast Walsh(-Hadamard) transform (CUDA SDK).
+
+Table II: Group 4; High thrashing, Medium delay tolerance, High
+activation sensitivity, **High Th_RBL sensitivity**, Low error
+tolerance.
+
+Trace shape: butterfly passes touch DRAM rows in skewed two-line waves
+(delay merges them) and the large-stride late passes leave a sizeable
+isolated RBL(1) population — the mass Dyn-AMS targets with a low
+Th_RBL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+def walsh_hadamard(x: np.ndarray) -> np.ndarray:
+    """In-place-free iterative Walsh-Hadamard transform (length 2^k)."""
+    out = x.astype(np.float64).copy()
+    n = out.size
+    h = 1
+    while h < n:
+        out = out.reshape(-1, 2 * h)
+        a = out[:, :h].copy()
+        b = out[:, h:].copy()
+        out[:, :h] = a + b
+        out[:, h:] = a - b
+        out = out.reshape(-1)
+        h *= 2
+    return out
+
+
+class FWT(Workload):
+    """Walsh-Hadamard transform of a rough signal (power-of-two size)."""
+
+    name = "FWT"
+    description = "fast Walsh transform"
+    input_kind = "Matrix"
+    group = 4
+
+    def _build(self) -> None:
+        exponent = max(14, int(round(np.log2(524288 * self.scale))))
+        n = 1 << exponent
+        self.register("X", rough_field(self.rng, n), approximable=True)
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        butterflies = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(48), lines_per_visit=2, lines_per_op=1,
+            visits_per_row=2, skew_cycles=(500.0, 1800.0),
+            compute=self.cycles(35.0), row_range=(0.0, 0.68),
+        )
+        late_passes = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(16), lines_per_visit=1, visits_per_row=1,
+            row_range=(0.68, 1.0), compute=self.cycles(35.0), shuffle_seed=self.seed,
+        )
+        return interleave(butterflies, late_passes)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        return walsh_hadamard(arrays["X"])

@@ -1,0 +1,54 @@
+"""GEMM — matrix multiplication (Polybench).
+
+Table II: Group 4; High thrashing, Low delay tolerance, Medium
+activation sensitivity, High Th_RBL sensitivity, Low error tolerance.
+
+Fig. 6(a)'s signature: ~10 % of read requests (the B-operand column
+panels at RBL(1-2)) cause ~65 % of the row activations, while the
+A-operand row panels stream at high RBL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class GEMM(Workload):
+    """C = alpha A B + beta C on rough (error-intolerant) matrices."""
+
+    name = "GEMM"
+    description = "matrix multiplication"
+    input_kind = "Matrices"
+    group = 4
+
+    def _build(self) -> None:
+        n = self.dim2(768, multiple=48, minimum=96)
+        self.register("A", rough_field(self.rng, (n, n)), approximable=True)
+        self.register("B", rough_field(self.rng, (n, n)), approximable=True)
+        self.register("C", rough_field(self.rng, (n, n)))
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        a_panels = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(40), lines_per_visit=8, visits_per_row=1, compute=self.cycles(35.0),
+        )
+        b_columns = row_visit_streams(
+            self.space, "B", m,
+            n_warps=self.warps(24), lines_per_visit=1, visits_per_row=2,
+            skew_cycles=1200.0, compute=self.cycles(35.0), row_range=(0.0, 0.5),
+            shuffle_seed=self.seed,
+        )
+        return interleave(a_panels, b_columns)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        b = arrays["B"].astype(np.float64)
+        c = arrays["C"].astype(np.float64)
+        return 1.5 * (a @ b) + 1.2 * c

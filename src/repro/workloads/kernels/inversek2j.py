@@ -1,0 +1,68 @@
+"""inversek2j — inverse kinematics for a 2-joint arm (AxBench).
+
+Table II: Group 3; High thrashing, High delay tolerance, High activation
+sensitivity, Low Th_RBL sensitivity, High error tolerance. Like RAY,
+result writes share rows with coordinate reads, capping AMS coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+#: Arm segment lengths.
+L1, L2 = 0.5, 0.5
+
+
+class InverseK2J(Workload):
+    """Closed-form 2-joint inverse kinematics over smooth target paths."""
+
+    name = "inversek2j"
+    description = "inverse kinematics for 2-joint arm"
+    input_kind = "Coordinates"
+    group = 3
+
+    def _build(self) -> None:
+        n = self.dim(294912, multiple=3072)
+        # Reachable, smoothly varying end-effector paths.
+        radius = 0.2 + 0.75 * smooth_field(self.rng, n, low=0.0, high=1.0)
+        angle = 2 * np.pi * smooth_field(self.rng, n, low=0.0, high=1.0)
+        self.register("X", (radius * np.cos(angle)).astype(np.float32),
+                      approximable=True)
+        self.register("Y", (radius * np.sin(angle)).astype(np.float32),
+                      approximable=True)
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        coords = [
+            row_visit_streams(
+                self.space, nm, m,
+                n_warps=self.warps(120), lines_per_visit=3, lines_per_op=1,
+                visits_per_row=2, skew_cycles=(300.0, 2400.0),
+                compute=self.cycles(25.0),
+                shuffle_seed=self.seed + i,
+            )
+            for i, nm in enumerate(("X", "Y"))
+        ]
+        angle_writes = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(24), lines_per_visit=2, visits_per_row=1,
+            line_offset=6, compute=self.cycles(45.0), write=True,
+            shuffle_seed=self.seed + 5,
+        )
+        return interleave(*coords, angle_writes)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        x = arrays["X"].astype(np.float64)
+        y = arrays["Y"].astype(np.float64)
+        d2 = x * x + y * y
+        cos_t2 = np.clip((d2 - L1 * L1 - L2 * L2) / (2 * L1 * L2), -1, 1)
+        t2 = np.arccos(cos_t2)
+        t1 = np.arctan2(y, x) - np.arctan2(
+            L2 * np.sin(t2), L1 + L2 * np.cos(t2)
+        )
+        return np.stack([t1, t2])

@@ -1,0 +1,71 @@
+"""jmein — triangle intersection detection (AxBench's jmeint).
+
+Table II: Group 2; High thrashing, Medium delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, Medium error tolerance.
+
+The output is discrete (intersects / does not), so application error is
+the mismatch rate — perturbed coordinates flip only near-boundary pairs
+(Medium tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class JMein(Workload):
+    """Bounding-sphere triangle-pair intersection tests."""
+
+    name = "jmein"
+    description = "triangle intersection detection"
+    input_kind = "Coordinates"
+    group = 2
+
+    def _build(self) -> None:
+        pairs = self.dim(49152, multiple=1536)
+        rng = self.rng
+        # Two triangle soups with spatially-coherent vertices: each
+        # triangle is 9 floats (3 vertices x 3 coordinates).
+        for nm in ("triA", "triB"):
+            centers = np.stack(
+                [smooth_field(rng, pairs, low=-2.0, high=2.0)
+                 for _ in range(3)],
+                axis=1,
+            )
+            jitter = rng.uniform(-0.4, 0.4, (pairs, 3, 3))
+            tri = centers[:, None, :] + jitter
+            self.register(nm, tri.astype(np.float32), approximable=True)
+        self.pairs = pairs
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        gathers = [
+            row_visit_streams(
+                self.space, nm, m,
+                n_warps=self.warps(44), lines_per_visit=2, lines_per_op=1,
+                visits_per_row=2, skew_cycles=(500.0, 1800.0),
+                compute=self.cycles(45.0),
+                shuffle_seed=self.seed + i,
+            )
+            for i, nm in enumerate(("triA", "triB"))
+        ]
+        return interleave(*gathers)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["triA"].astype(np.float64)
+        b = arrays["triB"].astype(np.float64)
+        ca = a.mean(axis=1)
+        cb = b.mean(axis=1)
+        ra = np.linalg.norm(a - ca[:, None, :], axis=2).max(axis=1)
+        rb = np.linalg.norm(b - cb[:, None, :], axis=2).max(axis=1)
+        dist = np.linalg.norm(ca - cb, axis=1)
+        return (dist < ra + rb).astype(np.float64)
+
+    def output_error(self, exact: np.ndarray, approx: np.ndarray) -> float:
+        """Mismatch rate for the discrete intersection verdicts."""
+        return float(np.mean(exact != approx))

@@ -1,0 +1,75 @@
+"""laplacian — image sharpening filter (AxBench).
+
+Table II: Group 3; Low thrashing, Medium delay tolerance, Low activation
+sensitivity, Low Th_RBL sensitivity, Medium error tolerance. This is
+the paper's Fig. 14 application: its sharpened output visualises the
+quality loss of the Dyn-DMS + Dyn-AMS combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_image
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+def sharpen(img: np.ndarray) -> np.ndarray:
+    """Laplacian sharpening: subtract the 4-neighbour Laplacian."""
+    padded = np.pad(img, 1, mode="edge")
+    lap = (
+        padded[:-2, 1:-1] + padded[2:, 1:-1]
+        + padded[1:-1, :-2] + padded[1:-1, 2:]
+        - 4 * img
+    )
+    return np.clip(img - 0.8 * lap, 0.0, 255.0)
+
+
+class Laplacian(Workload):
+    """Sharpening filter over a smooth photograph."""
+
+    name = "laplacian"
+    description = "image sharpening filter"
+    input_kind = "Images"
+    group = 3
+
+    def _build(self) -> None:
+        side = self.dim2(576, multiple=48, minimum=96)
+        self.register(
+            "img", smooth_image(self.rng, side, side), approximable=True
+        )
+        self.side = side
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        bulk = row_visit_streams(
+            self.space, "img", m,
+            n_warps=self.warps(80), lines_per_visit=14, lines_per_op=2,
+            visits_per_row=1, compute=self.cycles(40.0),
+            row_range=(0.0, 0.95),
+        )
+        # A small boundary-row population: the only AMS candidates, giving
+        # laplacian its limited (far below 10 %) coverage.
+        edges = row_visit_streams(
+            self.space, "img", m,
+            n_warps=self.warps(8), lines_per_visit=2, visits_per_row=1,
+            row_range=(0.95, 1.0), compute=self.cycles(40.0), shuffle_seed=self.seed,
+        )
+        return interleave(bulk, edges)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        return sharpen(arrays["img"].astype(np.float64))
+
+    def output_error(self, exact, approx) -> float:
+        """Peak-normalized mean absolute error (image output).
+
+        Plain relative error explodes on near-black pixels; image-quality
+        studies normalise by the dynamic range instead.
+        """
+        import numpy as np
+
+        e = np.asarray(exact, dtype=np.float64)
+        a = np.asarray(approx, dtype=np.float64)
+        return float(np.mean(np.abs(a - e)) / 255.0)

@@ -1,0 +1,64 @@
+"""LPS — 3D Laplace solver (GPGPU-Sim benchmark suite).
+
+One Jacobi relaxation sweep of a 3D Laplace equation. Table II: Group 1;
+High thrashing, Medium delay tolerance, **Low activation sensitivity**
+(Fig. 7a: only ~2 % activation reduction at its MTD), High Th_RBL
+sensitivity, High error tolerance.
+
+Trace shape: single-visit rows (x/y-plane streaming) — nothing for DMS
+to merge — plus a large population of isolated z-neighbour lines at
+RBL(1), which AMS eliminates (the Fig. 7a story: AMS(8) achieves the
+reduction DMS cannot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class LPS(Workload):
+    """3D Laplace relaxation over an annotated potential field."""
+
+    name = "LPS"
+    description = "3D Laplace solver"
+    input_kind = "Matrix"
+    group = 1
+
+    def _build(self) -> None:
+        side = self.dim3(120, multiple=12, minimum=24)
+        u = smooth_field(self.rng, (side, side, side))
+        self.register("U", u, approximable=True)
+        self.side = side
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        plane_stream = row_visit_streams(
+            self.space, "U", m,
+            n_warps=self.warps(180), lines_per_visit=4,
+            visits_per_row=1, compute=self.cycles(30.0),
+            row_range=(0.0, 0.55),
+        )
+        z_neighbors = row_visit_streams(
+            self.space, "U", m,
+            n_warps=self.warps(60), lines_per_visit=1, visits_per_row=1,
+            row_range=(0.55, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed,
+        )
+        return interleave(plane_stream, z_neighbors)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        u = arrays["U"].astype(np.float64)
+        out = u.copy()
+        out[1:-1, 1:-1, 1:-1] = (
+            u[:-2, 1:-1, 1:-1]
+            + u[2:, 1:-1, 1:-1]
+            + u[1:-1, :-2, 1:-1]
+            + u[1:-1, 2:, 1:-1]
+            + u[1:-1, 1:-1, :-2]
+            + u[1:-1, 1:-1, 2:]
+        ) / 6.0
+        return out

@@ -1,0 +1,65 @@
+"""meanfilter — 3x3 mean filter for noise reduction (AxBench).
+
+Table II: Group 3; Low thrashing, High delay tolerance, Low activation
+sensitivity, Low Th_RBL sensitivity, High error tolerance. Pure
+high-RBL streaming: almost no low-RBL rows exist, so AMS coverage stays
+near zero — yet the averaging kernel forgives any drop that does occur.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_image
+from repro.workloads.traces import row_visit_streams
+
+
+def mean3x3(img: np.ndarray) -> np.ndarray:
+    """3x3 box filter with edge replication."""
+    padded = np.pad(img, 1, mode="edge")
+    out = np.zeros_like(img, dtype=np.float64)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            out += padded[1 + dy:1 + dy + img.shape[0],
+                          1 + dx:1 + dx + img.shape[1]]
+    return out / 9.0
+
+
+class MeanFilter(Workload):
+    """Noise-reduction box filter over a smooth photograph."""
+
+    name = "meanfilter"
+    description = "convolution filter for noise reduction"
+    input_kind = "Image"
+    group = 3
+
+    def _build(self) -> None:
+        side = self.dim2(576, multiple=48, minimum=96)
+        img = smooth_image(self.rng, side, side)
+        img += self.rng.normal(0, 6.0, img.shape).astype(np.float32)
+        self.register("img", img.astype(np.float32), approximable=True)
+        self.side = side
+
+    def warp_streams(self, config: GPUConfig):
+        return row_visit_streams(
+            self.space, "img", config.mapping,
+            n_warps=self.warps(128), lines_per_visit=16, lines_per_op=2,
+            visits_per_row=1, compute=self.cycles(30.0),
+        )
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        return mean3x3(arrays["img"].astype(np.float64))
+
+    def output_error(self, exact, approx) -> float:
+        """Peak-normalized mean absolute error (image output).
+
+        Plain relative error explodes on near-black pixels; image-quality
+        studies normalise by the dynamic range instead.
+        """
+        import numpy as np
+
+        e = np.asarray(exact, dtype=np.float64)
+        a = np.asarray(approx, dtype=np.float64)
+        return float(np.mean(np.abs(a - e)) / 255.0)

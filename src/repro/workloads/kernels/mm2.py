@@ -1,0 +1,57 @@
+"""2MM — two chained matrix multiplications (Polybench).
+
+Table II: Group 4; Medium thrashing, Medium delay tolerance, Medium
+activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+
+The low-RBL mass sits at RBL(2-4) (tile boundary traffic), so lowering
+Th_RBL below 8 buys nothing (Th sensitivity Low).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class MM2(Workload):
+    """E = (A B) C with rough matrices."""
+
+    name = "2MM"
+    description = "two matrix multiplications"
+    input_kind = "Matrices"
+    group = 4
+
+    def _build(self) -> None:
+        n = self.dim2(672, multiple=48, minimum=96)
+        self.register("A", rough_field(self.rng, (n, n)), approximable=True)
+        self.register("B", rough_field(self.rng, (n, n)), approximable=True)
+        self.register("C", rough_field(self.rng, (n, n)), approximable=True)
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        panels_a = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(36), lines_per_visit=10, visits_per_row=1, compute=self.cycles(40.0),
+        )
+        panels_b = row_visit_streams(
+            self.space, "B", m,
+            n_warps=self.warps(36), lines_per_visit=10, visits_per_row=1, compute=self.cycles(40.0),
+        )
+        boundary = row_visit_streams(
+            self.space, "C", m,
+            n_warps=self.warps(16), lines_per_visit=2, lines_per_op=1,
+            visits_per_row=2, skew_cycles=(500.0, 1800.0),
+            compute=self.cycles(40.0), row_range=(0.0, 0.3),
+        )
+        return interleave(panels_a, panels_b, boundary)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        b = arrays["B"].astype(np.float64)
+        c = arrays["C"].astype(np.float64)
+        return (a @ b) @ c

@@ -1,0 +1,77 @@
+"""3MM — three matrix multiplications (Polybench).
+
+Table II: Group 3; **Low thrashing**, High delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, High error tolerance.
+
+Fig. 6(b)'s signature: a *tiny* fraction (~0.2 %) of read requests at
+RBL(1-2) causes ~45 % of all activations. Because so few low-RBL
+read-only rows exist, AMS coverage cannot reach 10 % (Group 3), yet DMS
+merges the skewed sparse visits well (High activation sensitivity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class MM3(Workload):
+    """G = (A B)(C D) with smooth matrices."""
+
+    name = "3MM"
+    description = "three matrix multiplications"
+    input_kind = "Matrices"
+    group = 3
+
+    def _build(self) -> None:
+        n = self.dim2(480, multiple=48, minimum=96)
+        for nm in ("A", "B", "C", "D"):
+            self.register(nm, smooth_field(self.rng, (n, n)),
+                          approximable=True)
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        # Panel reuse: each row's lines are read twice (the refetch misses
+        # L2 because the four-matrix working set far exceeds it), so every
+        # activation still serves >8 requests (low thrashing) while DMS
+        # can merge the two waves (high activation sensitivity).
+        panels = [
+            row_visit_streams(
+                self.space, nm, m,
+                n_warps=self.warps(28), lines_per_visit=14, lines_per_op=2,
+                visits_per_row=2, repeat_visits=True,
+                skew_cycles=(600.0, 2200.0), compute=self.cycles(35.0),
+                row_range=(0.0, 0.4),
+            )
+            for nm in ("A", "B")
+        ]
+        panels += [
+            row_visit_streams(
+                self.space, nm, m,
+                n_warps=self.warps(14), lines_per_visit=14, lines_per_op=2,
+                visits_per_row=1, compute=self.cycles(35.0),
+                row_range=(0.0, 0.4),
+            )
+            for nm in ("C", "D")
+        ]
+        # Sparse tile-boundary rereads: lines 14-15 of a fraction of A's
+        # rows, in two skewed waves (disjoint from the panel lines).
+        sparse = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(8), lines_per_visit=1, visits_per_row=2,
+            skew_cycles=1100.0, compute=self.cycles(35.0), row_fraction=0.45,
+            line_offset=14, shuffle_seed=self.seed,
+        )
+        return interleave(*panels, sparse)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        b = arrays["B"].astype(np.float64)
+        c = arrays["C"].astype(np.float64)
+        d = arrays["D"].astype(np.float64)
+        return (a @ b) @ (c @ d)

@@ -1,0 +1,66 @@
+"""MVT — matrix-vector product and transpose (Polybench).
+
+x1 = A y1 ; x2 = A^T y2. Table II: Group 2; High thrashing, Medium delay
+tolerance, High activation sensitivity, **Low Th_RBL sensitivity**
+(the low-RBL mass sits at RBL(2+), so lowering Th_RBL below the static 8
+buys nothing), High error tolerance.
+
+Trace shape: the row pass and the transpose pass touch the same DRAM
+rows in two skewed waves of two lines each — plenty for DMS — and there
+is no single-line RBL(1) population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import smooth_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class MVT(Workload):
+    """Matrix-vector product plus transposed product."""
+
+    name = "MVT"
+    description = "matrix vector product and transpose"
+    input_kind = "Matrix"
+    group = 2
+
+    def _build(self) -> None:
+        n = self.dim2(1104, multiple=48, minimum=96)
+        self.register("A", smooth_field(self.rng, (n, n)),
+                      approximable=True)
+        self.register("y1", smooth_field(self.rng, n), approximable=True)
+        self.register("y2", smooth_field(self.rng, n), approximable=True)
+        self.n = n
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        # Row + transpose passes revisit the same rows far enough apart
+        # that the baseline cannot merge them (skew > typical queue wait).
+        row_pass = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(120), lines_per_visit=2, lines_per_op=1,
+            visits_per_row=2, skew_cycles=(600.0, 2000.0),
+            compute=self.cycles(30.0), row_range=(0.0, 0.55),
+        )
+        # Single-visit RBL(2) rows: the AMS victims (not RBL(1), so
+        # lowering Th_RBL below 8 buys nothing — Th sensitivity Low).
+        victims = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(40), lines_per_visit=2, visits_per_row=1,
+            row_range=(0.55, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed,
+        )
+        vectors = row_visit_streams(
+            self.space, "y1", m,
+            n_warps=self.warps(2), lines_per_visit=2, visits_per_row=1, compute=self.cycles(30.0),
+        )
+        return interleave(row_pass, victims, vectors)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        y1 = arrays["y1"].astype(np.float64)
+        y2 = arrays["y2"].astype(np.float64)
+        return np.concatenate([a @ y1, a.T @ y2])

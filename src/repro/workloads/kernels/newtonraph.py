@@ -1,0 +1,58 @@
+"""newtonraph — per-element Newton-Raphson equation solver (AxBench).
+
+Table II: Group 4; High thrashing, High delay tolerance, High activation
+sensitivity, Low Th_RBL sensitivity, Low error tolerance (root finding
+amplifies coefficient perturbations; the coefficients are white noise,
+so nearest-line prediction is uninformative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class NewtonRaph(Workload):
+    """Solve a*x^3 + b*x - c = 0 per element by Newton iteration."""
+
+    name = "newtonraph"
+    description = "Newton-Raphson equation solver"
+    input_kind = "Image"
+    group = 4
+
+    def _build(self) -> None:
+        n = self.dim(393216, multiple=3072)
+        a = np.abs(rough_field(self.rng, n)) + 0.2
+        b = np.abs(rough_field(self.rng, n)) + 0.2
+        c = rough_field(self.rng, n, scale=2.0)
+        self.register("A", a.astype(np.float32), approximable=True)
+        self.register("B", b.astype(np.float32), approximable=True)
+        self.register("C", c.astype(np.float32), approximable=True)
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        streams = [
+            row_visit_streams(
+                self.space, nm, m,
+                n_warps=self.warps(200), lines_per_visit=3, lines_per_op=1,
+                visits_per_row=2, skew_cycles=(300.0, 2400.0),
+                compute=self.cycles(25.0),
+            )
+            for nm in ("A", "B", "C")
+        ]
+        return interleave(*streams)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        b = arrays["B"].astype(np.float64)
+        c = arrays["C"].astype(np.float64)
+        x = np.ones_like(a)
+        for _ in range(12):
+            f = a * x**3 + b * x - c
+            fp = 3 * a * x**2 + b
+            x = x - f / np.maximum(fp, 1e-9)
+        return x

@@ -1,0 +1,68 @@
+"""SCP — scalar products (CUDA SDK).
+
+Computes segment-wise dot products of two vectors. Table II: Group 1;
+High thrashing, Low delay tolerance, High activation sensitivity, High
+Th_RBL sensitivity, Medium error tolerance.
+
+Trace shape: two skewed visits per DRAM row of each operand (the Fig. 3
+pattern DMS merges) plus an isolated-single-line component giving the
+>10 % RBL(1) request mass of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import offset_noise
+from repro.workloads.traces import interleave, row_visit_streams
+
+#: Elements per dot-product segment.
+SEGMENT = 128
+
+
+class SCP(Workload):
+    """Segment-wise scalar products of two annotated vectors."""
+
+    name = "SCP"
+    description = "scalar products"
+    input_kind = "Matrix"
+    group = 1
+
+    def _build(self) -> None:
+        n = self.dim(884736, multiple=SEGMENT * 24)
+        self.register("A", offset_noise(self.rng, n, offset=0.5),
+                      approximable=True)
+        self.register("B", offset_noise(self.rng, n, offset=0.5),
+                      approximable=True)
+        self.register("C", np.zeros(n // SEGMENT, dtype=np.float32))
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        common = dict(
+            n_warps=self.warps(60),
+            lines_per_visit=3,
+            visits_per_row=2,
+            skew_cycles=900.0,
+            compute=self.cycles(30.0),
+            row_range=(0.0, 0.62),
+        )
+        main_a = row_visit_streams(self.space, "A", m, **common)
+        main_b = row_visit_streams(self.space, "B", m, **common)
+        strays = row_visit_streams(
+            self.space, "A", m,
+            n_warps=self.warps(14), lines_per_visit=1, visits_per_row=1,
+            row_range=(0.62, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed,
+        )
+        strays_b = row_visit_streams(
+            self.space, "B", m,
+            n_warps=self.warps(14), lines_per_visit=1, visits_per_row=1,
+            row_range=(0.62, 1.0), compute=self.cycles(30.0), shuffle_seed=self.seed + 1,
+        )
+        return interleave(main_a, main_b, strays, strays_b)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        a = arrays["A"].astype(np.float64)
+        b = arrays["B"].astype(np.float64)
+        return (a * b).reshape(-1, SEGMENT).sum(axis=1)

@@ -1,0 +1,53 @@
+"""SLA — scan of large arrays (CUDA SDK).
+
+Table II: Group 4; Low thrashing, High delay tolerance, Medium
+activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+
+Trace shape: bulk high-RBL streaming (prefix-sum passes) plus a modest
+skewed re-read of block sums (the second scan phase) giving the Medium
+activation sensitivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class SLA(Workload):
+    """Exclusive prefix sum over a large rough array."""
+
+    name = "SLA"
+    description = "scan of large arrays"
+    input_kind = "Matrix"
+    group = 4
+
+    def _build(self) -> None:
+        n = self.dim(983040, multiple=3072)
+        self.register("X", rough_field(self.rng, n), approximable=True)
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        bulk = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(96), lines_per_visit=14, lines_per_op=2,
+            visits_per_row=1, compute=self.cycles(30.0),
+            row_range=(0.0, 0.88),
+        )
+        block_sums = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(16), lines_per_visit=1, visits_per_row=2,
+            skew_cycles=1000.0, compute=self.cycles(30.0), row_range=(0.88, 1.0),
+        )
+        return interleave(bulk, block_sums)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        x = arrays["X"].astype(np.float64)
+        out = np.empty_like(x)
+        out[0] = 0.0
+        np.cumsum(x[:-1], out=out[1:])
+        return out

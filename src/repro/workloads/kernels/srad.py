@@ -1,0 +1,67 @@
+"""srad — speckle-reducing anisotropic diffusion (Rodinia).
+
+Table II: Group 4; High thrashing, Medium delay tolerance, High
+activation sensitivity, Low Th_RBL sensitivity, Low error tolerance.
+
+The kernel's diffusion coefficient divides by local gradients, so
+mispredicted lines produce large relative output errors even on image
+data (error tolerance Low).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import rough_field
+from repro.workloads.traces import interleave, row_visit_streams
+
+
+class SRAD(Workload):
+    """One SRAD iteration on a speckled image."""
+
+    name = "srad"
+    description = "speckle reducing anisotropic diffusion"
+    input_kind = "Image"
+    group = 4
+
+    def _build(self) -> None:
+        side = self.dim2(576, multiple=48, minimum=96)
+        speckle = np.abs(rough_field(self.rng, (side, side))) + 0.05
+        self.register("I", speckle.astype(np.float32), approximable=True)
+        self.side = side
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        rows_pass = row_visit_streams(
+            self.space, "I", m,
+            n_warps=self.warps(48), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(500.0, 1800.0), compute=self.cycles(45.0),
+        )
+        neighbor_pass = row_visit_streams(
+            self.space, "I", m,
+            n_warps=self.warps(32), lines_per_visit=2, lines_per_op=1, visits_per_row=2,
+            skew_cycles=(700.0, 2200.0), compute=self.cycles(45.0), line_offset=4,
+        )
+        return interleave(rows_pass, neighbor_pass)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        img = arrays["I"].astype(np.float64)
+        north = np.roll(img, 1, axis=0)
+        south = np.roll(img, -1, axis=0)
+        west = np.roll(img, 1, axis=1)
+        east = np.roll(img, -1, axis=1)
+        denom = np.maximum(img, 1e-6)
+        grad2 = (
+            (north - img) ** 2
+            + (south - img) ** 2
+            + (west - img) ** 2
+            + (east - img) ** 2
+        ) / denom**2
+        lap = (north + south + west + east - 4 * img) / denom
+        num = 0.5 * grad2 - (1.0 / 16.0) * lap**2
+        den = (1.0 + 0.25 * lap) ** 2
+        q = num / np.maximum(den, 1e-6)
+        c = 1.0 / (1.0 + np.maximum(q, 0.0))
+        return img + 0.125 * c * (north + south + west + east - 4 * img)

@@ -1,0 +1,96 @@
+"""A fully parameterised synthetic workload.
+
+Exposes the trace-generator knobs directly, so users can dial in any
+point of the paper's characterisation space (Table III) without writing
+a kernel: thrashing level via ``stray_fraction``, activation sensitivity
+via ``visits_per_row``/``skew_cycles``, delay tolerance via
+``n_warps``/``compute``, error tolerance via ``data_offset`` (see
+:func:`repro.workloads.data.offset_noise`).
+
+The kernel is a segment-sum reduction over the traced array, so the
+approximation-replay pipeline works end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.gpu import GPUConfig
+from repro.workloads.base import Workload
+from repro.workloads.data import offset_noise
+from repro.workloads.traces import interleave, row_visit_streams
+
+#: Elements per reduction segment of the synthetic kernel.
+SEGMENT = 256
+
+
+class SyntheticWorkload(Workload):
+    """Dial-a-characteristic workload over one annotated array."""
+
+    name = "synthetic"
+    description = "parameterised synthetic workload"
+    input_kind = "Matrix"
+    group = 0
+
+    def __init__(
+        self,
+        *,
+        elements: int = 393216,
+        n_warps: int = 64,
+        lines_per_visit: int = 2,
+        lines_per_op: int | None = None,
+        visits_per_row: int = 2,
+        skew_cycles: float | tuple[float, float] = (400.0, 1600.0),
+        compute: float = 35.0,
+        stray_fraction: float = 0.15,
+        data_offset: float = 0.5,
+        **kwargs,
+    ) -> None:
+        self._elements = elements
+        self._n_warps = n_warps
+        self._lines_per_visit = lines_per_visit
+        self._lines_per_op = lines_per_op
+        self._visits_per_row = visits_per_row
+        self._skew_cycles = skew_cycles
+        self._compute = compute
+        self._stray_fraction = min(max(stray_fraction, 0.0), 0.9)
+        self._data_offset = data_offset
+        super().__init__(**kwargs)
+
+    def _build(self) -> None:
+        n = self.dim(self._elements, multiple=SEGMENT * 12)
+        self.register(
+            "X",
+            offset_noise(self.rng, n, offset=self._data_offset),
+            approximable=True,
+        )
+
+    def warp_streams(self, config: GPUConfig):
+        m = config.mapping
+        main_hi = 1.0 - self._stray_fraction
+        main = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(self._n_warps),
+            lines_per_visit=self._lines_per_visit,
+            lines_per_op=self._lines_per_op,
+            visits_per_row=self._visits_per_row,
+            skew_cycles=self._skew_cycles,
+            compute=self.cycles(self._compute),
+            row_range=(0.0, main_hi),
+        )
+        if self._stray_fraction <= 0.0:
+            return main
+        strays = row_visit_streams(
+            self.space, "X", m,
+            n_warps=self.warps(max(self._n_warps // 5, 2)),
+            lines_per_visit=1,
+            visits_per_row=1,
+            compute=self.cycles(self._compute),
+            row_range=(main_hi, 1.0),
+            shuffle_seed=self.seed,
+        )
+        return interleave(main, strays)
+
+    def run_kernel(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        x = arrays["X"].astype(np.float64)
+        return x.reshape(-1, SEGMENT).sum(axis=1)

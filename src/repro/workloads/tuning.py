@@ -1,0 +1,40 @@
+"""Per-application trace tuning (parallelism, compute scale).
+
+These values are produced by ``scripts/tune_workloads.py``, which sizes
+each application's warp-level parallelism and per-op compute so the
+closed-loop simulator lands in the paper's delay-tolerance regime:
+
+* Low MTD    — near bus saturation (delay adds directly to latency);
+* Medium MTD — moderately loaded (256-512 cycles absorbable);
+* High MTD   — many warps at moderate demand (the 128-entry pending
+  queue can amortise 1024+ cycles of ageing).
+
+``registry.get_workload`` applies them automatically; pass explicit
+``parallelism=``/``compute_scale=`` to override.
+"""
+
+from __future__ import annotations
+
+#: app name -> (parallelism multiplier, compute-duration multiplier)
+TUNING: dict[str, tuple[float, float]] = {
+    "2MM": (1.400, 5.974),
+    "3DCONV": (1.400, 0.524),
+    "3MM": (1.000, 2.983),
+    "ATAX": (1.400, 3.899),
+    "BICG": (1.000, 1.000),
+    "CONS": (1.400, 0.304),
+    "FWT": (1.400, 0.352),
+    "GEMM": (1.000, 2.735),
+    "LPS": (1.400, 8.386),
+    "MVT": (1.400, 3.899),
+    "RAY": (1.000, 5.083),
+    "SCP": (1.000, 6.005),
+    "SLA": (1.000, 10.370),
+    "blackscholes": (1.400, 1.833),
+    "inversek2j": (1.000, 4.127),
+    "jmein": (1.400, 1.000),
+    "laplacian": (1.400, 6.306),
+    "meanfilter": (1.000, 10.940),
+    "newtonraph": (1.000, 7.057),
+    "srad": (1.400, 0.593),
+}

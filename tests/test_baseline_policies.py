@@ -1,0 +1,144 @@
+"""Tests for the baseline-policy ablations (FCFS, close-row) and the
+reuse-aware error model."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    measure_application_error,
+    measure_application_error_with_reuse,
+)
+from repro.config import SchedulerConfig
+from repro.errors import ConfigError
+from repro.vp.predictor import DropRecord
+from repro.workloads import get_workload
+from tests.test_controller import Harness
+
+
+class TestConfigValidation:
+    def test_valid_variants(self) -> None:
+        SchedulerConfig(arbiter="fcfs").validate()
+        SchedulerConfig(row_policy="close").validate()
+
+    def test_invalid_variants(self) -> None:
+        with pytest.raises(ConfigError):
+            SchedulerConfig(arbiter="random").validate()
+        with pytest.raises(ConfigError):
+            SchedulerConfig(row_policy="adaptive").validate()
+
+
+class TestFCFSArbiter:
+    def test_fcfs_serves_in_strict_age_order(self) -> None:
+        # Open row 1; a row-2 miss arrives before a row-1 hit. FR-FCFS
+        # serves the younger hit first; FCFS must switch to row 2 first,
+        # then reopen row 1 (3 activations total instead of 2).
+        def run(arbiter: str) -> int:
+            h = Harness(SchedulerConfig(arbiter=arbiter))
+            h.inject(0, bank=0, row=1, col=0)
+            h.inject(5, bank=0, row=2, col=0)
+            h.inject(6, bank=0, row=1, col=1)
+            h.run()
+            return h.channel.stats.activations
+
+        assert run("frfcfs") == 2
+        assert run("fcfs") == 3
+
+    def test_fcfs_loses_row_locality_on_interleaved_traffic(self) -> None:
+        def run(arbiter: str) -> float:
+            h = Harness(SchedulerConfig(arbiter=arbiter))
+            # Two interleaved row streams: hits exist but arrive out of
+            # age order.
+            for i in range(12):
+                h.inject(2.0 * i, bank=0, row=1 + i % 2, col=i // 2)
+            h.run()
+            return h.channel.stats.avg_rbl
+
+        assert run("frfcfs") >= run("fcfs")
+
+
+class TestCloseRowPolicy:
+    def test_idle_banks_are_precharged(self) -> None:
+        h = Harness(SchedulerConfig(row_policy="close"))
+        h.inject(0, bank=0, row=1, col=0)
+        h.run()
+        assert not h.channel.banks[0].is_open
+        assert h.channel.stats.precharges >= 1
+
+    def test_open_policy_keeps_row_open(self) -> None:
+        h = Harness(SchedulerConfig())
+        h.inject(0, bank=0, row=1, col=0)
+        h.run()
+        assert h.channel.banks[0].is_open
+
+    def test_close_row_hurts_late_hits(self) -> None:
+        # A second same-row request arriving later re-activates under
+        # close-row but hits the still-open row under open-row.
+        def run(policy: str) -> int:
+            h = Harness(SchedulerConfig(row_policy=policy))
+            h.inject(0, bank=0, row=1, col=0)
+            h.inject(300, bank=0, row=1, col=1)
+            h.run()
+            return h.channel.stats.activations
+
+        assert run("open") == 1
+        assert run("close") == 2
+
+
+class TestReuseAwareErrorModel:
+    def _drops(self, wl, chain: bool) -> list[DropRecord]:
+        spec = wl.space.spec("img")
+        drops = [
+            DropRecord(rid=0, addr=spec.base, tag=None,
+                       donor_line_addr=(spec.base + 128) // 128,
+                       time=0.0, channel=0)
+        ]
+        if chain:
+            # Second drop's donor is the line approximated first.
+            drops.append(
+                DropRecord(rid=1, addr=spec.base + 256, tag=None,
+                           donor_line_addr=spec.base // 128,
+                           time=1.0, channel=0)
+            )
+        return drops
+
+    def test_no_drops_zero_error(self) -> None:
+        wl = get_workload("meanfilter", scale=0.12)
+        assert measure_application_error_with_reuse(wl, []) == 0.0
+
+    def test_chained_donor_propagates(self) -> None:
+        wl = get_workload("meanfilter", scale=0.12)
+        drops = self._drops(wl, chain=True)
+        from repro.approx import (
+            build_perturbed_inputs,
+            build_perturbed_inputs_with_reuse,
+        )
+
+        simple = build_perturbed_inputs(wl.space, wl.arrays, drops)
+        reuse = build_perturbed_inputs_with_reuse(
+            wl.space, wl.arrays, drops
+        )
+        # Under reuse, drop 2 copies drop 1's *approximated* values
+        # (which equal the original line at base+128).
+        np.testing.assert_array_equal(
+            reuse["img"].ravel()[64:96], wl.arrays["img"].ravel()[32:64]
+        )
+        # The simple model copies the pristine line at base instead.
+        np.testing.assert_array_equal(
+            simple["img"].ravel()[64:96], wl.arrays["img"].ravel()[0:32]
+        )
+
+    def test_models_agree_on_smooth_data(self) -> None:
+        # Paper footnote 2: the two models give similar application
+        # errors in practice.
+        wl = get_workload("meanfilter", scale=0.12)
+        spec = wl.space.spec("img")
+        drops = [
+            DropRecord(rid=i, addr=spec.base + i * 128, tag=None,
+                       donor_line_addr=(spec.base + (i + 1) * 128) // 128,
+                       time=float(i), channel=0)
+            for i in range(10)
+        ]
+        simple = measure_application_error(wl, drops)
+        reuse = measure_application_error_with_reuse(wl, drops)
+        assert simple > 0 and reuse > 0
+        assert abs(simple - reuse) < 0.05

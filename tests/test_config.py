@@ -1,0 +1,232 @@
+"""Tests for configuration objects, asserting every Table I value."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    AddressMapping,
+    DMSConfig,
+    DMSMode,
+    AMSConfig,
+    AMSMode,
+    GPUConfig,
+    L2Config,
+    SchedulerConfig,
+    VPConfig,
+    baseline_config,
+    baseline_scheduler,
+    dyn_ams,
+    dyn_combo,
+    dyn_dms,
+    gddr5_timings,
+    hbm1_energy,
+    hbm2_energy,
+    static_ams,
+    static_combo,
+    static_dms,
+)
+from repro.config.timing import DRAMTimings, hbm1_timings, hbm2_timings
+from repro.errors import ConfigError
+
+
+class TestTableI:
+    """The defaults must reproduce Table I of the paper."""
+
+    def setup_method(self) -> None:
+        self.cfg = baseline_config()
+
+    def test_sm_array(self) -> None:
+        assert self.cfg.num_sms == 30
+        assert self.cfg.max_warps_per_sm == 48
+        assert self.cfg.threads_per_warp == 32
+
+    def test_clocks(self) -> None:
+        assert self.cfg.core_clock_mhz == 1400.0
+        assert self.cfg.mem_clock_mhz == 924.0
+        assert self.cfg.core_to_mem_ratio == pytest.approx(1400 / 924)
+
+    def test_l2_geometry(self) -> None:
+        # 8-way 128 KB per memory channel, 128 B lines.
+        assert self.cfg.l2.size_bytes == 128 * 1024
+        assert self.cfg.l2.associativity == 8
+        assert self.cfg.l2.line_bytes == 128
+        assert self.cfg.l2.num_sets == 128
+
+    def test_memory_model(self) -> None:
+        m = self.cfg.mapping
+        assert m.num_channels == 6
+        assert m.banks_per_channel == 16
+        assert m.bank_groups_per_channel == 4
+        assert m.interleave_bytes == 256
+        assert self.cfg.pending_queue_size == 128
+
+    def test_gddr5_timings(self) -> None:
+        t = self.cfg.timings
+        assert t.tCL == 12
+        assert t.tRP == 12
+        assert t.tRC == 40
+        assert t.tRAS == 28
+        assert t.tCCD == 2
+        assert t.tRCD == 12
+        assert t.tRRD == 6
+        assert t.tCDLR == 5
+
+    def test_clock_conversions_roundtrip(self) -> None:
+        assert self.cfg.mem_to_core(self.cfg.core_to_mem(700.0)) == pytest.approx(
+            700.0
+        )
+
+
+class TestTimingValidation:
+    def test_valid_presets(self) -> None:
+        for preset in (gddr5_timings(), hbm1_timings(), hbm2_timings()):
+            preset.validate()
+
+    def test_trc_consistency(self) -> None:
+        bad = DRAMTimings(tRC=10)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_nonpositive_rejected(self) -> None:
+        bad = DRAMTimings(tCL=0)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_tras_vs_trcd(self) -> None:
+        bad = DRAMTimings(tRAS=5, tRCD=12, tRC=40)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+
+class TestAddressMapping:
+    def setup_method(self) -> None:
+        self.m = AddressMapping()
+
+    def test_channel_interleave_256b(self) -> None:
+        # Consecutive 256-byte chunks rotate across the 6 channels.
+        assert self.m.decode(0).channel == 0
+        assert self.m.decode(256).channel == 1
+        assert self.m.decode(5 * 256).channel == 5
+        assert self.m.decode(6 * 256).channel == 0
+
+    def test_accesses_within_chunk_same_channel(self) -> None:
+        a = self.m.decode(0)
+        b = self.m.decode(128)
+        assert a.channel == b.channel
+        assert (a.bank, a.row) == (b.bank, b.row)
+        assert b.column == a.column + 1
+
+    def test_bank_interleaved_rows(self) -> None:
+        # Consecutive row-sized local regions land in successive banks.
+        first = self.m.decode(0)
+        # One full row in channel 0 = row_size * num_channels bytes globally
+        # (2048-byte rows arrive as 8 chunks of 256 interleaved 6 ways).
+        nxt = self.m.decode(self.m.row_size_bytes * self.m.num_channels)
+        assert nxt.channel == first.channel
+        assert nxt.bank == (first.bank + 1) % self.m.banks_per_channel
+
+    def test_bank_groups(self) -> None:
+        assert self.m.banks_per_group == 4
+        assert self.m.bank_group_of(0) == 0
+        assert self.m.bank_group_of(3) == 0
+        assert self.m.bank_group_of(4) == 1
+        assert self.m.bank_group_of(15) == 3
+
+    def test_columns_per_row(self) -> None:
+        assert self.m.columns_per_row == 2048 // 128
+
+    @pytest.mark.parametrize(
+        "addr", [0, 128, 256, 4096, 123 * 128, 999_936, 2**30]
+    )
+    def test_encode_decode_roundtrip(self, addr: int) -> None:
+        aligned = addr - addr % self.m.access_bytes
+        assert self.m.encode(self.m.decode(aligned)) == aligned
+
+    def test_invalid_geometry_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            AddressMapping(banks_per_channel=15).validate()
+        with pytest.raises(ConfigError):
+            AddressMapping(row_size_bytes=1000).validate()
+        with pytest.raises(ConfigError):
+            AddressMapping(num_channels=0).validate()
+
+
+class TestL2Config:
+    def test_power_of_two_sets_required(self) -> None:
+        with pytest.raises(ConfigError):
+            L2Config(size_bytes=96 * 1024, associativity=8).validate()
+
+    def test_mshr_positive(self) -> None:
+        with pytest.raises(ConfigError):
+            L2Config(mshr_entries=0).validate()
+
+
+class TestSchedulerConfigs:
+    def test_scheme_names(self) -> None:
+        assert baseline_scheduler().name == "Baseline"
+        assert static_dms().name == "Static-DMS(128)"
+        assert dyn_dms().name == "Dyn-DMS"
+        assert static_ams().name == "Static-AMS(8)"
+        assert dyn_ams().name == "Dyn-AMS"
+        assert static_combo().name == "Static-DMS(128) + Static-AMS(8)"
+        assert dyn_combo().name == "Dyn-DMS + Dyn-AMS"
+
+    def test_paper_defaults(self) -> None:
+        d = DMSConfig(mode=DMSMode.DYNAMIC)
+        assert d.static_delay == 128
+        assert d.delay_step == 128
+        assert d.max_delay == 2048
+        assert d.window_cycles == 4096
+        assert d.windows_per_phase == 32
+        assert d.bwutil_threshold == 0.95
+        a = AMSConfig(mode=AMSMode.DYNAMIC)
+        assert a.static_th_rbl == 8
+        assert (a.min_th_rbl, a.max_th_rbl) == (1, 8)
+        assert a.coverage_limit == 0.10
+        assert a.window_cycles == 4096
+
+    def test_validation_errors(self) -> None:
+        with pytest.raises(ConfigError):
+            DMSConfig(bwutil_threshold=0.0).validate()
+        with pytest.raises(ConfigError):
+            DMSConfig(max_delay=-1, min_delay=0).validate()
+        with pytest.raises(ConfigError):
+            AMSConfig(static_th_rbl=9).validate()
+        with pytest.raises(ConfigError):
+            AMSConfig(coverage_limit=0.0).validate()
+        with pytest.raises(ConfigError):
+            VPConfig(kind="psychic").validate()
+        SchedulerConfig().validate()
+
+    def test_all_schemes_validate(self) -> None:
+        for scheme in (
+            baseline_scheduler(),
+            static_dms(),
+            dyn_dms(),
+            static_ams(),
+            dyn_ams(),
+            static_combo(),
+            dyn_combo(),
+        ):
+            scheme.validate()
+
+    def test_configs_are_frozen(self) -> None:
+        cfg = baseline_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_sms = 64  # type: ignore[misc]
+
+
+class TestEnergyPresets:
+    def test_hbm_row_fractions_match_paper(self) -> None:
+        # Section V: row energy ~50 % of HBM1 and ~25 % of HBM2 energy.
+        assert hbm1_energy().baseline_row_energy_fraction == 0.50
+        assert hbm2_energy().baseline_row_energy_fraction == 0.25
+
+    def test_validation(self) -> None:
+        from repro.config import DRAMEnergyParams
+
+        with pytest.raises(ConfigError):
+            DRAMEnergyParams(e_act_nj=-1).validate()
+        with pytest.raises(ConfigError):
+            DRAMEnergyParams(baseline_row_energy_fraction=1.5).validate()

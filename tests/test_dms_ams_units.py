@@ -1,0 +1,262 @@
+"""Unit tests for the DMS and AMS policy units."""
+
+import pytest
+
+from repro.config import AMSConfig, AMSMode, DMSConfig, DMSMode
+from repro.sched.ams import AMSUnit
+from repro.sched.dms import DMSUnit
+from tests.test_pending_queue import make_request
+from repro.sched import PendingQueue
+
+
+class TestStaticDMS:
+    def test_off_mode_never_delays(self) -> None:
+        unit = DMSUnit(DMSConfig(mode=DMSMode.OFF))
+        assert not unit.enabled
+        assert unit.earliest_eligible(100.0) == 100.0
+
+    def test_static_delay_applied(self) -> None:
+        unit = DMSUnit(DMSConfig(mode=DMSMode.STATIC, static_delay=128))
+        assert unit.current_delay == 128
+        assert unit.earliest_eligible(100.0) == 228.0
+
+    def test_static_ignores_windows(self) -> None:
+        unit = DMSUnit(DMSConfig(mode=DMSMode.STATIC, static_delay=128))
+        unit.on_window(0.1)
+        assert unit.current_delay == 128
+        assert not unit.wants_ams_halted
+
+
+class TestDynDMS:
+    def make(self, **kw) -> DMSUnit:
+        unit = DMSUnit(DMSConfig(mode=DMSMode.DYNAMIC, **kw))
+        unit.on_window(0.0)  # discard the warm-up window
+        return unit
+
+    def test_starts_sampling_baseline_with_zero_delay(self) -> None:
+        unit = DMSUnit(DMSConfig(mode=DMSMode.DYNAMIC))
+        assert unit.current_delay == 0
+        assert unit.wants_ams_halted
+        unit.on_window(0.5)  # warm-up discard: still sampling baseline
+        assert unit.current_delay == 0
+        assert unit.wants_ams_halted
+
+    def test_search_up_until_threshold(self) -> None:
+        unit = self.make()
+        unit.on_window(0.80)  # baseline window: BWUTIL 0.80
+        assert unit.current_delay == 128
+        assert not unit.wants_ams_halted
+        unit.on_window(0.79)  # >= 0.95*0.80 -> step up
+        assert unit.current_delay == 256
+        unit.on_window(0.78)
+        assert unit.current_delay == 384
+        unit.on_window(0.70)  # < 0.76 -> settle on last good (256)
+        assert unit.current_delay == 256
+        # Settled: healthy windows keep the delay...
+        unit.on_window(0.79)
+        assert unit.current_delay == 256
+        # ...but the settled watchdog steps down on a starved window
+        # (application phase change before the next restart).
+        unit.on_window(0.10)
+        assert unit.current_delay == 128
+
+    def test_caps_at_max_delay(self) -> None:
+        unit = self.make(max_delay=256)
+        unit.on_window(0.5)  # baseline
+        unit.on_window(0.5)  # ok at 128 -> 256
+        unit.on_window(0.5)  # ok at 256 == max -> settle at 256
+        assert unit.current_delay == 256
+        unit.on_window(0.5)
+        assert unit.current_delay == 256
+
+    def test_phase_restart_seeds_from_recorded_delay(self) -> None:
+        unit = self.make(windows_per_phase=6)
+        unit.on_window(0.8)  # baseline (window 2 of the phase)
+        unit.on_window(0.8)  # ok at 128 -> 256
+        unit.on_window(0.5)  # bad at 256 -> settle at 128
+        assert unit.current_delay == 128
+        unit.on_window(0.8)  # settled window 5
+        unit.on_window(0.8)  # window 6: phase restart -> baseline sampling
+        assert unit.current_delay == 0
+        assert unit.wants_ams_halted
+        unit.on_window(0.8)  # new baseline; search restarts at recorded 128
+        assert unit.current_delay == 128
+
+    def test_search_down_when_start_too_high(self) -> None:
+        # Recorded delay 256 from a previous phase; new phase's app phase
+        # cannot tolerate it -> walk down until BWUTIL recovers.
+        unit = self.make(windows_per_phase=32)
+        unit.on_window(0.8)  # baseline -> start at 128
+        unit.on_window(0.5)  # bad at 128 immediately -> search down
+        assert unit.current_delay == 0.0
+        unit.on_window(0.8)  # ok at 0 -> settle at 0
+        assert unit.current_delay == 0.0
+
+    def test_zero_baseline_always_ok(self) -> None:
+        unit = self.make()
+        unit.on_window(0.0)  # baseline 0: any BWUTIL passes the threshold
+        unit.on_window(0.0)
+        assert unit.current_delay == 256
+
+
+class TestAMSUnit:
+    def queue_with_row(self, n: int, *, writes: int = 0,
+                       approximable: bool = True) -> PendingQueue:
+        q = PendingQueue(32, 16)
+        for i in range(n):
+            q.offer(
+                make_request(bank=0, row=5, col=i, approximable=approximable),
+                float(i),
+            )
+        for i in range(writes):
+            q.offer(
+                make_request(bank=0, row=5, col=n + i, is_write=True), 50.0
+            )
+        return q
+
+    def make(self, **kw) -> AMSUnit:
+        kw.setdefault("mode", AMSMode.STATIC)
+        kw.setdefault("warmup_fills", 0)
+        return AMSUnit(AMSConfig(**kw))
+
+    def feed_reads(self, unit: AMSUnit, n: int) -> None:
+        for _ in range(n):
+            unit.on_read_arrival()
+
+    def test_off_mode_never_drops(self) -> None:
+        unit = AMSUnit(AMSConfig(mode=AMSMode.OFF))
+        q = self.queue_with_row(1)
+        assert not unit.may_drop(q, 0, 5)
+
+    def test_drops_low_rbl_row(self) -> None:
+        unit = self.make(static_th_rbl=2)
+        self.feed_reads(unit, 100)
+        assert unit.may_drop(self.queue_with_row(2), 0, 5)
+
+    def test_respects_th_rbl(self) -> None:
+        unit = self.make(static_th_rbl=2)
+        self.feed_reads(unit, 100)
+        assert not unit.may_drop(self.queue_with_row(3), 0, 5)
+
+    def test_rejects_rows_with_writes(self) -> None:
+        unit = self.make(static_th_rbl=8)
+        self.feed_reads(unit, 100)
+        assert not unit.may_drop(self.queue_with_row(2, writes=1), 0, 5)
+
+    def test_rejects_unannotated_reads(self) -> None:
+        unit = self.make(static_th_rbl=8)
+        self.feed_reads(unit, 100)
+        q = self.queue_with_row(2, approximable=False)
+        assert not unit.may_drop(q, 0, 5)
+
+    def test_coverage_bound_enforced(self) -> None:
+        unit = self.make(static_th_rbl=8, coverage_limit=0.10)
+        self.feed_reads(unit, 100)
+        unit.on_drop(9)
+        # Dropping 2 more would make 11/100 > 10 %.
+        assert not unit.may_drop(self.queue_with_row(2), 0, 5)
+        assert unit.may_drop(self.queue_with_row(1), 0, 5)
+
+    def test_warmup_gates_drops(self) -> None:
+        unit = self.make(warmup_fills=10)
+        self.feed_reads(unit, 5)
+        assert not unit.may_drop(self.queue_with_row(1), 0, 5)
+        self.feed_reads(unit, 5)
+        assert unit.may_drop(self.queue_with_row(1), 0, 5)
+
+    def test_halted_blocks_drops(self) -> None:
+        unit = self.make()
+        self.feed_reads(unit, 100)
+        unit.set_halted(True)
+        assert not unit.may_drop(self.queue_with_row(1), 0, 5)
+        unit.set_halted(False)
+        assert unit.may_drop(self.queue_with_row(1), 0, 5)
+
+    def test_coverage_property(self) -> None:
+        unit = self.make()
+        assert unit.coverage == 0.0
+        self.feed_reads(unit, 50)
+        unit.on_drop(5)
+        assert unit.coverage == pytest.approx(0.1)
+
+
+class TestDynAMS:
+    def make(self) -> AMSUnit:
+        return AMSUnit(
+            AMSConfig(mode=AMSMode.DYNAMIC, warmup_fills=0,
+                      coverage_limit=0.10)
+        )
+
+    def test_threshold_decreases_when_coverage_met(self) -> None:
+        unit = self.make()
+        assert unit.th_rbl == 8
+        for _ in range(100):
+            unit.on_read_arrival()
+        unit.on_drop(10)  # window coverage 10 % -> lower the threshold
+        unit.on_window()
+        assert unit.th_rbl == 7
+
+    def test_threshold_increases_when_starved(self) -> None:
+        unit = self.make()
+        for _ in range(3):  # drive down to 5 first
+            for _ in range(100):
+                unit.on_read_arrival()
+            unit.on_drop(10)
+            unit.on_window()
+        assert unit.th_rbl == 5
+        for _ in range(100):
+            unit.on_read_arrival()
+        unit.on_drop(1)  # 1 % << 10 % -> raise
+        unit.on_window()
+        assert unit.th_rbl == 6
+
+    def test_threshold_bounded(self) -> None:
+        unit = self.make()
+        for _ in range(20):
+            for _ in range(100):
+                unit.on_read_arrival()
+            unit.on_drop(10)
+            unit.on_window()
+        assert unit.th_rbl == 1
+        for _ in range(20):
+            for _ in range(100):
+                unit.on_read_arrival()
+            unit.on_window()
+        assert unit.th_rbl == 8
+
+    def test_idle_window_keeps_threshold(self) -> None:
+        unit = self.make()
+        unit.on_window()  # no reads in the window
+        assert unit.th_rbl == 8
+
+
+class TestOverheadModel:
+    def test_paper_totals(self) -> None:
+        from repro.sched import full_lazy_scheduler_overhead
+
+        budget = full_lazy_scheduler_overhead()
+        assert budget.multipliers == 1
+        assert budget.adders == 11
+        assert budget.muxes == 1
+        assert budget.comparators == 3
+        assert budget.buffer_bits == 498
+
+    def test_per_scheme_overheads_are_monotone(self) -> None:
+        from repro.config import (
+            baseline_scheduler,
+            dyn_combo,
+            static_ams,
+            static_combo,
+            static_dms,
+        )
+        from repro.sched import scheduler_overhead
+
+        base = scheduler_overhead(baseline_scheduler())
+        assert base.buffer_bits == 0 and base.adders == 0
+        dms = scheduler_overhead(static_dms())
+        ams = scheduler_overhead(static_ams())
+        combo = scheduler_overhead(static_combo())
+        full = scheduler_overhead(dyn_combo())
+        assert dms.buffer_bits < combo.buffer_bits
+        assert ams.buffer_bits < combo.buffer_bits
+        assert combo.buffer_bits < full.buffer_bits == 498

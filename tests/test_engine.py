@@ -1,0 +1,74 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self) -> None:
+        e = Engine()
+        log: list[str] = []
+        e.at(10, lambda: log.append("b"))
+        e.at(5, lambda: log.append("a"))
+        e.at(20, lambda: log.append("c"))
+        e.run()
+        assert log == ["a", "b", "c"]
+        assert e.now == 20
+
+    def test_ties_break_by_insertion_order(self) -> None:
+        e = Engine()
+        log: list[int] = []
+        for i in range(5):
+            e.at(7, lambda i=i: log.append(i))
+        e.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self) -> None:
+        e = Engine()
+        seen: list[float] = []
+        e.at(10, lambda: e.after(5, lambda: seen.append(e.now)))
+        e.run()
+        assert seen == [15]
+
+    def test_negative_delay_rejected(self) -> None:
+        e = Engine()
+        with pytest.raises(SimulationError):
+            e.after(-1, lambda: None)
+
+    def test_past_schedule_clamped_to_now(self) -> None:
+        e = Engine()
+        seen: list[float] = []
+        e.at(10, lambda: e.at(3, lambda: seen.append(e.now)))
+        e.run()
+        assert seen == [10]
+
+    def test_run_until_stops_and_advances_clock(self) -> None:
+        e = Engine()
+        log: list[float] = []
+        e.at(5, lambda: log.append(5))
+        e.at(50, lambda: log.append(50))
+        e.run(until=20)
+        assert log == [5]
+        assert e.now == 20
+        e.run()
+        assert log == [5, 50]
+
+    def test_max_events_guard(self) -> None:
+        e = Engine()
+
+        def loop() -> None:
+            e.after(1, loop)
+
+        e.at(0, loop)
+        with pytest.raises(SimulationError):
+            e.run(max_events=100)
+
+    def test_idle_and_peek(self) -> None:
+        e = Engine()
+        assert e.idle
+        assert e.peek_time() is None
+        e.at(4, lambda: None)
+        assert not e.idle
+        assert e.peek_time() == 4

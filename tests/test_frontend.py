@@ -1,0 +1,146 @@
+"""Unit tests for the GPU frontend (warps, SM slots, reply handling)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import SimulationError, WorkloadError
+from repro.gpu.frontend import GPUFrontend
+from repro.gpu.warp import Access, Warp, WarpOp, WarpState
+from repro.sim.engine import Engine
+
+
+def compute_op(cycles: float = 10.0, instructions: int = 4) -> WarpOp:
+    return WarpOp(compute_cycles=cycles, instructions=instructions)
+
+
+def load_op(addr: int, *, compute: float = 10.0) -> WarpOp:
+    return WarpOp(
+        compute_cycles=compute, instructions=4,
+        accesses=(Access(addr=addr),),
+    )
+
+
+class RecordingMemory:
+    """Captures issued accesses; replies are delivered manually."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.issued: list[tuple[Access, Warp]] = []
+        self.auto_latency: float | None = None
+        self.frontend: GPUFrontend | None = None
+
+    def __call__(self, access: Access, warp: Warp) -> None:
+        self.issued.append((access, warp))
+        if self.auto_latency is not None and not access.is_write:
+            self.engine.after(
+                self.auto_latency,
+                lambda w=warp: self.frontend.on_load_reply(w),
+            )
+
+
+class TestWarpLifecycle:
+    def test_warp_iterates_and_accounts(self) -> None:
+        warp = Warp(0, 0, [compute_op(instructions=3),
+                           compute_op(instructions=5)])
+        op = warp.next_op()
+        assert op is not None
+        warp.retire_current()
+        warp.next_op()
+        warp.retire_current()
+        # Exhaustion alone does not finish the warp (MLP may still have
+        # loads in flight); the frontend marks it FINISHED.
+        assert warp.next_op() is None
+        assert not warp.finished
+        assert warp.instructions_retired == 8
+        assert warp.ops_retired == 2
+
+
+class TestFrontendExecution:
+    def make(self, streams, config=None):
+        engine = Engine()
+        mem = RecordingMemory(engine)
+        frontend = GPUFrontend(engine, config or GPUConfig(), streams, mem)
+        mem.frontend = frontend
+        return engine, mem, frontend
+
+    def test_pure_compute_warps_finish_without_memory(self) -> None:
+        engine, mem, fe = self.make([[compute_op(), compute_op()]])
+        fe.start()
+        engine.run()
+        assert fe.all_finished
+        assert fe.total_instructions == 8
+        assert not mem.issued
+
+    def test_loads_block_until_reply(self) -> None:
+        engine, mem, fe = self.make([[load_op(0), compute_op()]])
+        fe.start()
+        engine.run()
+        # The warp is stuck waiting for the load.
+        assert not fe.all_finished
+        assert fe.warps[0].state is WarpState.WAITING_MEM
+        fe.on_load_reply(fe.warps[0])
+        engine.run()
+        assert fe.all_finished
+
+    def test_auto_replies_complete_run(self) -> None:
+        streams = [[load_op(i * 128) for i in range(5)] for _ in range(3)]
+        engine, mem, fe = self.make(streams)
+        mem.auto_latency = 25.0
+        fe.start()
+        engine.run()
+        assert fe.all_finished
+        assert len(mem.issued) == 15
+        assert fe.finish_time_mem > 0
+
+    def test_writes_do_not_block(self) -> None:
+        op = WarpOp(
+            compute_cycles=5.0, instructions=4,
+            accesses=(Access(addr=0, is_write=True),),
+        )
+        engine, mem, fe = self.make([[op]])
+        fe.start()
+        engine.run()
+        assert fe.all_finished  # store is fire-and-forget
+        assert len(mem.issued) == 1
+
+    def test_unexpected_reply_rejected(self) -> None:
+        engine, mem, fe = self.make([[compute_op()]])
+        fe.start()
+        with pytest.raises(SimulationError):
+            fe.on_load_reply(fe.warps[0])
+
+    def test_empty_streams_rejected(self) -> None:
+        engine = Engine()
+        with pytest.raises(WorkloadError):
+            GPUFrontend(engine, GPUConfig(), [], lambda a, w: None)
+
+    def test_double_start_rejected(self) -> None:
+        engine, mem, fe = self.make([[compute_op()]])
+        fe.start()
+        with pytest.raises(SimulationError):
+            fe.start()
+
+
+class TestSMOversubscription:
+    def test_deferred_warps_run_after_slots_free(self) -> None:
+        # 1 SM with 2 warp slots, 5 warps: 3 must wait their turn.
+        config = GPUConfig(num_sms=1, max_warps_per_sm=2)
+        engine = Engine()
+        mem = RecordingMemory(engine)
+        streams = [[compute_op(cycles=50.0)] for _ in range(5)]
+        fe = GPUFrontend(engine, config, streams, mem)
+        mem.frontend = fe
+        fe.start()
+        assert len(fe._deferred) == 3
+        engine.run()
+        assert fe.all_finished
+        assert fe.total_instructions == 20
+
+    def test_round_robin_sm_assignment(self) -> None:
+        config = GPUConfig(num_sms=4)
+        engine = Engine()
+        fe = GPUFrontend(
+            engine, config, [[compute_op()] for _ in range(8)],
+            lambda a, w: None,
+        )
+        assert [w.sm_id for w in fe.warps] == [0, 1, 2, 3, 0, 1, 2, 3]

@@ -1,0 +1,78 @@
+"""Tests for per-warp memory-level parallelism (MLP)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import GPUConfig, baseline_scheduler
+from repro.errors import ConfigError
+from repro.gpu.warp import Access, WarpOp
+from repro.sim.system import GPUSystem
+
+
+def mlp_config(m: int) -> GPUConfig:
+    return GPUConfig(max_outstanding_ops_per_warp=m)
+
+
+def load_chain(n: int, base: int = 0) -> list[WarpOp]:
+    return [
+        WarpOp(compute_cycles=5.0, instructions=4,
+               accesses=(Access(addr=base + i * 131072),))
+        for i in range(n)
+    ]
+
+
+class TestMLPBehaviour:
+    def test_mlp_speeds_up_latency_bound_warp(self) -> None:
+        # One warp, 24 dependent-looking loads to distinct rows: with
+        # MLP 4 the loads pipeline and the run finishes much faster.
+        serial = GPUSystem(config=mlp_config(1),
+                           scheduler=baseline_scheduler())
+        r1 = serial.run([load_chain(24)], workload_name="mlp")
+        pipelined = GPUSystem(config=mlp_config(4),
+                              scheduler=baseline_scheduler())
+        r4 = pipelined.run([load_chain(24)], workload_name="mlp")
+        assert r4.elapsed_mem_cycles < 0.5 * r1.elapsed_mem_cycles
+        assert r4.total_instructions == r1.total_instructions
+        assert r4.requests_served == r1.requests_served
+
+    def test_mlp_conserves_work_across_warps(self) -> None:
+        warps = [load_chain(10, base=w * 1_000_000) for w in range(6)]
+        r = GPUSystem(config=mlp_config(3),
+                      scheduler=baseline_scheduler()).run(
+            warps, workload_name="mlp"
+        )
+        assert r.requests_served == 60
+        assert r.total_instructions == 240
+
+    def test_mlp_is_deterministic(self) -> None:
+        def once():
+            warps = [load_chain(12, base=w * 500_000) for w in range(4)]
+            r = GPUSystem(config=mlp_config(4),
+                          scheduler=baseline_scheduler()).run(
+                warps, workload_name="mlp"
+            )
+            return (r.elapsed_mem_cycles, r.activations,
+                    r.requests_served)
+
+        assert once() == once()
+
+    def test_invalid_mlp_rejected(self) -> None:
+        with pytest.raises(ConfigError):
+            mlp_config(0).validate()
+
+    def test_mixed_compute_and_writes_under_mlp(self) -> None:
+        ops = [
+            WarpOp(compute_cycles=10.0, instructions=2),
+            WarpOp(compute_cycles=5.0, instructions=4,
+                   accesses=(Access(addr=0),)),
+            WarpOp(compute_cycles=5.0, instructions=4,
+                   accesses=(Access(addr=262144, is_write=True),)),
+            WarpOp(compute_cycles=5.0, instructions=4,
+                   accesses=(Access(addr=524288),)),
+        ]
+        r = GPUSystem(config=mlp_config(2),
+                      scheduler=baseline_scheduler()).run(
+            [ops], workload_name="mlp"
+        )
+        assert r.total_instructions == 14

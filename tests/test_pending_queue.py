@@ -1,0 +1,146 @@
+"""Unit and property tests for the FR-FCFS pending queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AddressMapping
+from repro.dram import MemoryRequest
+from repro.errors import SchedulingError
+from repro.sched import PendingQueue
+
+MAPPING = AddressMapping()
+
+
+def make_request(
+    bank: int = 0, row: int = 0, col: int = 0, *, is_write: bool = False,
+    approximable: bool = False,
+) -> MemoryRequest:
+    from repro.config.address import DecodedAddress
+
+    addr = MAPPING.encode(
+        DecodedAddress(channel=0, bank=bank, bank_group=bank // 4, row=row,
+                       column=col)
+    )
+    return MemoryRequest.from_address(
+        addr, is_write=is_write, mapping=MAPPING, approximable=approximable
+    )
+
+
+class TestBasics:
+    def test_offer_and_remove(self) -> None:
+        q = PendingQueue(4, 16)
+        r = make_request()
+        assert q.offer(r, now=5.0)
+        assert r.enqueue_time == 5.0
+        assert len(q) == 1
+        q.remove(r, now=6.0)
+        assert q.empty
+
+    def test_fifo_oldest(self) -> None:
+        q = PendingQueue(8, 16)
+        first = make_request(bank=1, row=1)
+        second = make_request(bank=2, row=1)
+        q.offer(first, 0.0)
+        q.offer(second, 1.0)
+        assert q.oldest() is first
+        assert q.oldest_for_bank(2) is second
+
+    def test_row_queries(self) -> None:
+        q = PendingQueue(8, 16)
+        a = make_request(bank=3, row=9, col=0)
+        b = make_request(bank=3, row=9, col=1)
+        w = make_request(bank=3, row=9, col=2, is_write=True)
+        for i, r in enumerate((a, b, w)):
+            q.offer(r, float(i))
+        assert q.row_pending_count(3, 9) == 3
+        assert not q.row_all_reads(3, 9)
+        q.remove(w, 3.0)
+        assert q.row_all_reads(3, 9)
+        assert not q.row_all_approximable(3, 9)
+        assert q.hits_for(3, 9) == [a, b]
+
+    def test_row_queries_empty_row(self) -> None:
+        q = PendingQueue(8, 16)
+        assert q.row_pending_count(0, 0) == 0
+        assert not q.row_all_reads(0, 0)
+        assert q.oldest_hit_for(0, 0) is None
+
+    def test_double_remove_rejected(self) -> None:
+        q = PendingQueue(4, 16)
+        r = make_request()
+        q.offer(r, 0.0)
+        q.remove(r, 1.0)
+        with pytest.raises(SchedulingError):
+            q.remove(r, 2.0)
+
+    def test_double_offer_rejected(self) -> None:
+        q = PendingQueue(4, 16)
+        r = make_request()
+        q.offer(r, 0.0)
+        with pytest.raises(SchedulingError):
+            q.offer(r, 1.0)
+
+
+class TestCapacityAndIngress:
+    def test_overflow_defers_and_admits_in_order(self) -> None:
+        q = PendingQueue(2, 16)
+        reqs = [make_request(bank=0, row=i) for i in range(4)]
+        for i, r in enumerate(reqs):
+            q.offer(r, float(i))
+        assert len(q) == 2
+        assert q.ingress_backlog == 2
+        assert q.total_deferred == 2
+        q.remove(reqs[0], now=10.0)
+        # The first deferred request is admitted with enqueue_time = now.
+        assert len(q) == 2
+        assert q.ingress_backlog == 1
+        assert reqs[2].enqueue_time == 10.0
+
+    def test_deferred_requests_invisible_to_scheduler(self) -> None:
+        q = PendingQueue(1, 16)
+        a = make_request(bank=0, row=1)
+        b = make_request(bank=0, row=2)
+        q.offer(a, 0.0)
+        q.offer(b, 0.0)
+        assert q.oldest_for_bank(0) is a
+        assert q.row_pending_count(0, 2) == 0
+        assert not q.empty
+
+    def test_banks_with_pending(self) -> None:
+        q = PendingQueue(8, 16)
+        q.offer(make_request(bank=2), 0.0)
+        q.offer(make_request(bank=7), 0.0)
+        assert sorted(q.banks_with_pending()) == [2, 7]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["offer", "remove_oldest", "remove_bank_oldest"]),
+            st.integers(min_value=0, max_value=3),  # bank
+            st.integers(min_value=0, max_value=2),  # row
+        ),
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_queue_invariants_hold_under_arbitrary_ops(ops, capacity) -> None:
+    """The three indexes stay mutually consistent under any op sequence."""
+    q = PendingQueue(capacity, 16)
+    t = 0.0
+    for op, bank, row in ops:
+        t += 1.0
+        if op == "offer":
+            q.offer(make_request(bank=bank, row=row), t)
+        elif op == "remove_oldest":
+            victim = q.oldest()
+            if victim is not None:
+                q.remove(victim, t)
+        else:
+            victim = q.oldest_for_bank(bank)
+            if victim is not None:
+                q.remove(victim, t)
+        q.check_invariants()
+        assert len(q) <= capacity

@@ -1,0 +1,84 @@
+"""Tests for all-bank refresh modeling."""
+
+import pytest
+
+from repro.config import AddressMapping, GPUConfig, baseline_scheduler
+from repro.config.timing import DRAMTimings
+from repro.dram import Channel, DRAMCommand, TimingChecker
+from repro.errors import ConfigError
+from repro.gpu.warp import Access, WarpOp
+from repro.sim.system import GPUSystem
+
+
+class TestChannelRefresh:
+    def make(self, **kw) -> Channel:
+        return Channel(
+            0, AddressMapping(), DRAMTimings(),
+            refresh_enabled=True, log_commands=True, **kw
+        )
+
+    def test_refresh_due_after_trefi(self) -> None:
+        ch = self.make()
+        assert not ch.refresh_due(100)
+        assert ch.refresh_due(ch.timings.tREFI)
+
+    def test_disabled_channel_never_due(self) -> None:
+        ch = Channel(0, AddressMapping(), DRAMTimings())
+        assert not ch.refresh_due(1e9)
+        assert ch.next_refresh_time() == float("inf")
+
+    def test_refresh_closes_open_rows_and_blocks_acts(self) -> None:
+        ch = self.make()
+        bank = ch.banks[0]
+        ch.switch_row(bank, 5, now=0.0)
+        t = ch.issue_column(bank, is_write=False, now=0.0)[0]
+        t_ref = ch.issue_refresh(3600.0)
+        assert not bank.is_open
+        assert ch.stats.refreshes == 1
+        # Next activation respects tRFC.
+        t_act = ch.issue_activate(bank, 7, now=t_ref)
+        assert t_act >= t_ref + ch.timings.tRFC
+
+    def test_refresh_period_advances(self) -> None:
+        ch = self.make()
+        first = ch.next_refresh_time()
+        ch.issue_refresh(first)
+        assert ch.next_refresh_time() == pytest.approx(
+            first + ch.timings.tREFI
+        )
+
+    def test_command_log_with_refresh_is_legal(self) -> None:
+        ch = self.make()
+        bank = ch.banks[0]
+        t = ch.switch_row(bank, 1, now=0.0)
+        t, _ = ch.issue_column(bank, is_write=False, now=t)
+        t_ref = ch.issue_refresh(3600.0)
+        ch.issue_activate(bank, 2, now=t_ref)
+        checker = TimingChecker(ch.timings)
+        checker.check_stream(ch.command_log)
+        kinds = [r.command for r in ch.command_log]
+        assert DRAMCommand.REFRESH in kinds
+
+
+class TestRefreshedSystem:
+    def test_system_with_refresh_still_completes(self) -> None:
+        config = GPUConfig(refresh_enabled=True)
+        system = GPUSystem(config=config, scheduler=baseline_scheduler())
+        warps = [
+            [
+                WarpOp(compute_cycles=2000.0, instructions=4,
+                       accesses=(Access(addr=i * 4096 + w * 65536),))
+                for i in range(20)
+            ]
+            for w in range(8)
+        ]
+        report = system.run(warps, workload_name="refresh")
+        refreshes = sum(s.refreshes for s in report.channel_stats)
+        assert refreshes > 0
+        assert report.requests_served == 160
+        # Refresh energy shows up in the background component.
+        assert report.energy.background_nj > 0
+
+    def test_refresh_config_validation(self) -> None:
+        with pytest.raises(ConfigError):
+            DRAMTimings(tREFI=50, tRFC=88).validate()

@@ -1,0 +1,57 @@
+"""Tests for the calibration/tuning layer."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import TABLE_II, get_workload
+from repro.workloads.tuning import TUNING
+
+
+class TestTuningTable:
+    def test_every_app_is_tuned(self) -> None:
+        assert set(TUNING) == set(TABLE_II)
+
+    def test_values_are_sane(self) -> None:
+        for name, (p, cs) in TUNING.items():
+            assert 0.1 <= p <= 4.0, name
+            assert 0.05 <= cs <= 64.0, name
+
+    def test_get_workload_applies_tuning(self) -> None:
+        wl = get_workload("SCP")
+        p, cs = TUNING["SCP"]
+        assert wl.parallelism == pytest.approx(p)
+        assert wl.compute_scale == pytest.approx(cs)
+
+    def test_explicit_override_wins(self) -> None:
+        wl = get_workload("SCP", parallelism=2.5, compute_scale=0.5)
+        assert wl.parallelism == 2.5
+        assert wl.compute_scale == 0.5
+
+    def test_invalid_knobs_rejected(self) -> None:
+        with pytest.raises(WorkloadError):
+            get_workload("SCP", parallelism=0.0)
+        with pytest.raises(WorkloadError):
+            get_workload("SCP", compute_scale=-1.0)
+
+
+class TestScalingHelpers:
+    def test_warps_scale_with_parallelism_and_scale(self) -> None:
+        big = get_workload("SCP", scale=1.0, parallelism=2.0,
+                           compute_scale=1.0)
+        small = get_workload("SCP", scale=0.5, parallelism=2.0,
+                             compute_scale=1.0)
+        assert big.warps(50) == 100
+        assert small.warps(50) == 50
+        assert big.warps(10_000) == 1440  # SM-slot ceiling
+        assert big.warps(0) == 2  # floor
+
+    def test_cycles_scale(self) -> None:
+        wl = get_workload("SCP", compute_scale=3.0)
+        assert wl.cycles(40.0) == pytest.approx(120.0)
+
+    def test_dim2_dim3_preserve_footprint_scaling(self) -> None:
+        full = get_workload("MVT", scale=1.0)
+        half = get_workload("MVT", scale=0.5)
+        ratio = half.space.footprint_bytes / full.space.footprint_bytes
+        # dim2 makes the 2-D footprint scale ~linearly with `scale`.
+        assert 0.35 < ratio < 0.65
