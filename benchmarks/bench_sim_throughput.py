@@ -1,0 +1,172 @@
+"""Raw simulator throughput: engine events per wall-clock second.
+
+Unlike the figure benchmarks (which time whole experiment harnesses,
+caches included), this one measures the hot path itself: each cell
+builds a :class:`~repro.sim.system.GPUSystem` directly, runs it to
+completion with every cache layer out of the picture, and reads the
+engine's event counters. The result is written to
+``BENCH_sim_throughput.json`` at the repository root so successive
+commits can be compared::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py \
+        --scale 0.5 --jobs 4 --out BENCH_sim_throughput.json
+
+The JSON records, per (app, scheme) cell: events processed/cancelled,
+wall seconds, and events/sec; plus a matrix section timing a fresh
+``Runner.run_matrix`` serially and with ``--jobs`` workers (the
+parallel number is only meaningful on a multi-core host).
+
+Run under pytest it doubles as a smoke test (tiny scale, no JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.runner import Runner
+from repro.harness.schemes import dms_only, evaluation_schemes
+from repro.sim.system import GPUSystem
+from repro.workloads.registry import get_workload
+
+#: Default (app, scheme label) cells: one latency-bound and one
+#: bandwidth-bound application, each baseline and under DMS(128).
+DEFAULT_APPS = ("SCP", "GEMM")
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_sim_throughput.json"
+
+
+def _cell_schemes() -> dict:
+    return {
+        "Baseline": evaluation_schemes()["Baseline"],
+        "DMS(128)": dms_only(128),
+    }
+
+
+def measure_cell(app: str, label: str, scheme, *, scale: float,
+                 seed: int) -> dict:
+    """Simulate one cell from scratch and report engine throughput."""
+    from repro.dram.request import reset_request_ids
+
+    reset_request_ids()
+    workload = get_workload(app, scale=scale, seed=seed)
+    system = GPUSystem(scheduler=scheme)
+    streams = workload.warp_streams(system.config)
+    start = time.perf_counter()
+    system.run(streams, workload_name=workload.name)
+    wall = time.perf_counter() - start
+    events = system.engine.events_processed
+    return {
+        "app": app,
+        "scheme": label,
+        "events_processed": events,
+        "events_cancelled": system.engine.events_cancelled,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall) if wall > 0 else 0,
+    }
+
+
+def measure_matrix(apps, *, scale: float, seed: int, jobs: int) -> dict:
+    """Wall-clock of a fresh (apps x schemes) matrix, serial vs jobs."""
+    schemes = _cell_schemes()
+    timings = {}
+    for mode, n in (("serial", 1), (f"jobs{jobs}", jobs)):
+        runner = Runner(scale=scale, seed=seed, verbose=False,
+                        cache=None, jobs=n)
+        start = time.perf_counter()
+        runner.run_matrix(apps, schemes)
+        timings[mode] = round(time.perf_counter() - start, 4)
+    serial, parallel = timings["serial"], timings[f"jobs{jobs}"]
+    return {
+        "cells": len(apps) * len(schemes),
+        "serial_wall_s": serial,
+        f"jobs{jobs}_wall_s": parallel,
+        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
+    }
+
+
+def run_benchmark(*, scale: float, seed: int, jobs: int,
+                  apps=DEFAULT_APPS, matrix: bool = True) -> dict:
+    cells = [
+        measure_cell(app, label, scheme, scale=scale, seed=seed)
+        for app in apps
+        for label, scheme in _cell_schemes().items()
+    ]
+    total_events = sum(c["events_processed"] for c in cells)
+    total_wall = sum(c["wall_s"] for c in cells)
+    result = {
+        "benchmark": "sim_throughput",
+        "scale": scale,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "cells": cells,
+        "total": {
+            "events_processed": total_events,
+            "wall_s": round(total_wall, 4),
+            "events_per_s": (
+                round(total_events / total_wall) if total_wall > 0 else 0
+            ),
+        },
+    }
+    if matrix:
+        result["matrix"] = measure_matrix(
+            apps, scale=scale, seed=seed, jobs=jobs
+        )
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure raw simulator throughput (events/sec)."
+    )
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload size multiplier")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", "-j", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker count for the matrix timing")
+    parser.add_argument("--no-matrix", action="store_true",
+                        help="skip the serial-vs-parallel matrix timing")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        scale=args.scale, seed=args.seed, jobs=max(1, args.jobs),
+        matrix=not args.no_matrix,
+    )
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    for cell in result["cells"]:
+        print(
+            f"{cell['app']:>12} {cell['scheme']:<10}"
+            f" {cell['events_processed']:>9} events"
+            f" {cell['wall_s']:>8.3f}s"
+            f" {cell['events_per_s']:>9} ev/s"
+        )
+    total = result["total"]
+    print(f"{'TOTAL':>12} {'':<10} {total['events_processed']:>9} events"
+          f" {total['wall_s']:>8.3f}s {total['events_per_s']:>9} ev/s")
+    if "matrix" in result:
+        m = result["matrix"]
+        print(f"matrix: {m}")
+    print(f"wrote {out}")
+    return 0
+
+
+def test_sim_throughput_smoke():
+    """Tiny-scale smoke: every cell makes progress; no JSON is written."""
+    result = run_benchmark(scale=0.1, seed=7, jobs=1, matrix=False)
+    assert result["cells"], "no cells measured"
+    for cell in result["cells"]:
+        assert cell["events_processed"] > 0
+        assert cell["events_per_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

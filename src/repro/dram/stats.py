@@ -30,6 +30,22 @@ class ActivationRecord:
         """True when the row was opened to serve only read requests."""
         return self.writes == 0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (lossless)."""
+        return {
+            "bank": self.bank,
+            "row": self.row,
+            "open_time": self.open_time,
+            "rbl": self.rbl,
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ActivationRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 class BusUtilizationTracker:
     """Tracks data-bus busy intervals and answers windowed queries.
@@ -66,6 +82,34 @@ class BusUtilizationTracker:
                 break
         self._cursor = now
         return busy
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BusUtilizationTracker):
+            return NotImplemented
+        return (
+            self.total_busy == other.total_busy
+            and self._cursor == other._cursor
+            and self._pending == other._pending
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (lossless)."""
+        return {
+            "total_busy": self.total_busy,
+            "cursor": self._cursor,
+            "pending": [list(iv) for iv in self._pending],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BusUtilizationTracker":
+        """Inverse of :meth:`to_dict`."""
+        tracker = cls()
+        tracker.total_busy = data["total_busy"]
+        tracker._cursor = data["cursor"]
+        tracker._pending = deque(
+            (start, end) for start, end in data["pending"]
+        )
+        return tracker
 
 
 @dataclass
@@ -140,6 +184,60 @@ class ChannelStats:
         if not self.activations:
             return 0.0
         return self.requests_served / self.activations
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-serializable snapshot of the channel statistics.
+
+        RBL histogram keys become strings (JSON object keys);
+        :meth:`from_dict` restores them to ints.
+        """
+        return {
+            "reads_served": self.reads_served,
+            "writes_served": self.writes_served,
+            "activations": self.activations,
+            "precharges": self.precharges,
+            "refreshes": self.refreshes,
+            "requests_dropped": self.requests_dropped,
+            "reads_arrived": self.reads_arrived,
+            "writes_arrived": self.writes_arrived,
+            "rbl_histogram": {
+                str(k): v for k, v in sorted(self.rbl_histogram.items())
+            },
+            "activation_log": [r.to_dict() for r in self.activation_log],
+            "record_activations": self.record_activations,
+            "bus": self.bus.to_dict(),
+            "open": {str(b): r.to_dict() for b, r in self._open.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChannelStats":
+        """Inverse of :meth:`to_dict`."""
+        stats = cls(
+            reads_served=data["reads_served"],
+            writes_served=data["writes_served"],
+            activations=data["activations"],
+            precharges=data["precharges"],
+            refreshes=data["refreshes"],
+            requests_dropped=data["requests_dropped"],
+            reads_arrived=data["reads_arrived"],
+            writes_arrived=data["writes_arrived"],
+            rbl_histogram=Counter(
+                {int(k): v for k, v in data["rbl_histogram"].items()}
+            ),
+            activation_log=[
+                ActivationRecord.from_dict(r) for r in data["activation_log"]
+            ],
+            record_activations=data["record_activations"],
+            bus=BusUtilizationTracker.from_dict(data["bus"]),
+        )
+        stats._open = {
+            int(b): ActivationRecord.from_dict(r)
+            for b, r in data["open"].items()
+        }
+        return stats
 
 
 def merge_rbl_histograms(stats: Iterable[ChannelStats]) -> Counter:

@@ -1,0 +1,210 @@
+"""Persistent, content-addressed simulation result cache.
+
+Every (workload, scale, seed, scheduler, GPU config, measure_error) cell
+maps to a deterministic cache key: the SHA-256 of a canonical JSON
+rendering of *all* configuration contents plus :data:`CACHE_FORMAT_VERSION`.
+Results are stored as JSON blobs (``SimReport.to_dict``) under
+``.repro-cache/<first-two-hex>/<key>.json``; a hit deserializes the report
+and skips simulation entirely — across processes and sessions.
+
+Invalidation is structural: changing any field of
+:class:`~repro.config.scheduler.SchedulerConfig` or
+:class:`~repro.config.gpu.GPUConfig` (including nested timing, energy,
+mapping, and L2 sub-configs), the workload scale/seed, or the cache format
+version yields a different key, so stale hits are impossible by
+construction.
+
+Controls:
+
+* ``REPRO_NO_CACHE=1`` disables both lookups and stores;
+* ``REPRO_CACHE_DIR`` relocates the cache root (default ``.repro-cache``);
+* ``repro-harness cache clear`` wipes it from the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import SchedulerConfig
+from repro.sim.report import SimReport
+
+#: Bump whenever the on-disk blob layout or simulator semantics change in
+#: a way that invalidates previously stored results.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_ENV_DISABLE = "REPRO_NO_CACHE"
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-serializable form of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return value
+
+
+def config_fingerprint(
+    scheduler: SchedulerConfig, config: Optional[GPUConfig]
+) -> dict:
+    """Canonical dict of every field of both configuration trees."""
+    return {
+        "scheduler": _jsonable(scheduler),
+        "gpu": _jsonable(config if config is not None else GPUConfig()),
+    }
+
+
+def cache_key(
+    *,
+    app: str,
+    scale: float,
+    seed: int,
+    scheduler: SchedulerConfig,
+    config: Optional[GPUConfig] = None,
+    measure_error: bool = False,
+    version: int = CACHE_FORMAT_VERSION,
+) -> str:
+    """Content hash identifying one simulation cell.
+
+    ``config=None`` hashes identically to the default :class:`GPUConfig`
+    (that is what the simulator instantiates for it).
+    """
+    payload = {
+        "version": version,
+        "app": app,
+        "scale": scale,
+        "seed": seed,
+        "measure_error": measure_error,
+        **config_fingerprint(scheduler, config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cache_disabled_by_env() -> bool:
+    """Whether ``REPRO_NO_CACHE`` requests bypassing the disk cache."""
+    return os.environ.get(_ENV_DISABLE, "").strip() not in ("", "0")
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimReport` blobs on disk.
+
+    Instantiating the cache does not touch the filesystem; directories
+    are created lazily on the first store.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(_ENV_DIR) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        if enabled is None:
+            enabled = not cache_disabled_by_env()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Blob path for a cache key (two-level fan-out by key prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimReport]:
+        """Return the cached report for ``key``, or None on a miss."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                blob = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if blob.get("format_version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimReport.from_dict(blob["report"])
+
+    def store(self, key: str, report: SimReport) -> Optional[Path]:
+        """Persist ``report`` under ``key``; returns the blob path.
+
+        The blob is written to a temp file and atomically renamed so a
+        concurrent reader never sees a torn write.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "workload": report.workload,
+            "scheme": report.scheme,
+            "report": report.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(blob, fh, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """All blob paths currently in the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes occupied by cached blobs."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached blob; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        # Prune now-empty shard directories (ignore stray files).
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -3,8 +3,10 @@
 Examples::
 
     repro-harness fig04 --apps SCP,LPS --scale 0.5
-    repro-harness fig12
-    repro-harness all --scale 0.25
+    repro-harness fig12 --jobs 4
+    repro-harness all --scale 0.25 --no-cache
+    repro-harness cache info
+    repro-harness cache clear
     python -m repro.harness.cli table2
 """
 
@@ -13,12 +15,46 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.runner import Runner
 
 
+def _cache_main(argv: list[str]) -> int:
+    """The ``repro-harness cache <action>`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness cache",
+        description="Manage the persistent simulation result cache.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["clear", "info"],
+        help="clear: delete all cached results; info: show size and count",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.dir, enabled=True)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    else:
+        entries = cache.entries()
+        print(
+            f"{cache.root}: {len(entries)} cached result(s), "
+            f"{cache.size_bytes() / 1e6:.2f} MB"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or ``all``) and print its tables."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -28,7 +64,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id (paper figure/table) or 'all'",
+        help="experiment id (paper figure/table) or 'all' "
+        "(also: 'cache clear|info' to manage the result cache)",
     )
     parser.add_argument(
         "--apps",
@@ -45,12 +82,31 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=7, help="workload data/trace seed"
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="simulate up to N matrix cells in parallel worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache (same as REPRO_NO_CACHE=1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress"
     )
     args = parser.parse_args(argv)
 
-    runner = Runner(scale=args.scale, seed=args.seed,
-                    verbose=not args.quiet)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    runner = Runner(
+        scale=args.scale,
+        seed=args.seed,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]

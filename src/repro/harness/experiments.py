@@ -54,6 +54,46 @@ def _queue_config(base: Optional[GPUConfig], size: int) -> GPUConfig:
     return dataclasses.replace(cfg, pending_queue_size=size)
 
 
+def _sub_runner(runner: Runner, config: GPUConfig) -> Runner:
+    """A runner with a different GPU config inheriting the parent's
+    parallelism and cache layers (content keys disambiguate configs)."""
+    return Runner(
+        scale=runner.scale,
+        seed=runner.seed,
+        config=config,
+        verbose=runner.verbose,
+        jobs=runner.jobs,
+        cache=runner.cache,
+    )
+
+
+def _prefetch(
+    runner: Runner,
+    apps: Sequence[str],
+    schemes: dict,
+    *,
+    measure_error: bool = False,
+) -> None:
+    """Fill the runner's memo for a sweep using the parallel path.
+
+    The figure functions below iterate cells one at a time (their table
+    layout needs per-cell access anyway); with ``jobs > 1`` this
+    populates every cell concurrently first, turning those loops into
+    memo hits. With ``jobs == 1`` it is a no-op — the serial loops
+    already simulate on demand.
+    """
+    if runner.jobs > 1:
+        runner.run_matrix(apps, schemes, measure_error=measure_error)
+
+
+def _delay_sweep_schemes() -> dict:
+    """Baseline plus the Fig. 4/5/10 DMS delay sweep."""
+    schemes = {"Baseline": evaluation_schemes()["Baseline"]}
+    for delay in DELAY_SWEEP:
+        schemes[f"DMS({delay})"] = dms_only(delay)
+    return schemes
+
+
 # ----------------------------------------------------------------------
 # Fig. 2 — pending queue size vs activations (baseline FR-FCFS)
 # ----------------------------------------------------------------------
@@ -61,21 +101,18 @@ def fig02(
     runner: Runner, apps: Sequence[str] = ALL_APPS
 ) -> ExperimentResult:
     """Activations vs queue size, normalized to the 128-entry baseline."""
+    acts: dict[str, dict[int, int]] = {app: {} for app in apps}
+    for size in QUEUE_SIZES:
+        sub = _sub_runner(runner, _queue_config(runner.config, size))
+        reports = sub.run_matrix(
+            apps, {f"q{size}": evaluation_schemes()["Baseline"]}
+        )
+        for app in apps:
+            acts[app][size] = reports[(app, f"q{size}")].activations
     data: dict[str, dict[int, float]] = {}
     for app in apps:
-        per_size: dict[int, int] = {}
-        for size in QUEUE_SIZES:
-            sub = Runner(
-                scale=runner.scale,
-                seed=runner.seed,
-                config=_queue_config(runner.config, size),
-                verbose=runner.verbose,
-            )
-            report = sub.run(app, evaluation_schemes()["Baseline"],
-                             label=f"q{size}")
-            per_size[size] = report.activations
-        ref = per_size[128] or 1
-        data[app] = {s: per_size[s] / ref for s in QUEUE_SIZES}
+        ref = acts[app][128] or 1
+        data[app] = {s: acts[app][s] / ref for s in QUEUE_SIZES}
     rows = [
         [app] + [data[app][s] for s in QUEUE_SIZES] for app in apps
     ]
@@ -99,6 +136,7 @@ def fig04(
     runner: Runner, apps: Sequence[str] = ALL_APPS
 ) -> ExperimentResult:
     """Normalized activations (a) and IPC (b) for DMS(64..2048)."""
+    _prefetch(runner, apps, _delay_sweep_schemes())
     acts: dict[str, dict[int, float]] = {}
     ipcs: dict[str, dict[int, float]] = {}
     for app in apps:
@@ -151,6 +189,7 @@ def fig05(
     runner: Runner, apps: Sequence[str] = ("GEMM", "newtonraph")
 ) -> ExperimentResult:
     """Activation-count shares per RBL bucket as the delay grows."""
+    _prefetch(runner, apps, _delay_sweep_schemes())
     data: dict[str, dict[int, list[float]]] = {}
     for app in apps:
         data[app] = {}
@@ -182,6 +221,8 @@ def fig06(
 ) -> ExperimentResult:
     """CDF: x = fraction of read requests (sorted by their activation's
     RBL), y = fraction of total activations."""
+    _prefetch(runner, apps,
+              {"Baseline": evaluation_schemes()["Baseline"]})
     curves: dict[str, list[tuple[float, float]]] = {}
     for app in apps:
         base = runner.run(app, evaluation_schemes()["Baseline"],
@@ -240,6 +281,11 @@ def fig07(runner: Runner) -> ExperimentResult:
         "AMS(8)": ams_only(8),
         "DMS(256)+AMS(8)": dms_plus_ams(256, 8),
     }
+    baseline = {"Baseline": evaluation_schemes()["Baseline"]}
+    _prefetch(runner, ("LPS",), {**baseline, **lps_cases},
+              measure_error=True)
+    _prefetch(runner, ("SCP",), {**baseline, **scp_cases},
+              measure_error=True)
     blocks = []
     for app, cases in (("LPS", lps_cases), ("SCP", scp_cases)):
         base = runner.run(app, evaluation_schemes()["Baseline"],
@@ -278,6 +324,7 @@ def fig10(
     apps: Sequence[str] = ("SCP", "MVT", "CONS", "newtonraph"),
 ) -> ExperimentResult:
     """Per-app (BWUTIL, IPC) across delays + Pearson correlation."""
+    _prefetch(runner, apps, _delay_sweep_schemes())
     data: dict[str, list[tuple[float, float]]] = {}
     corr: dict[str, float] = {}
     for app in apps:
@@ -308,6 +355,12 @@ def fig10(
 # ----------------------------------------------------------------------
 def fig11(runner: Runner, app: str = "SCP") -> ExperimentResult:
     """Normalized activations for AMS(Th) as Th_RBL drops 8 -> 1."""
+    _prefetch(
+        runner,
+        (app,),
+        {"Baseline": evaluation_schemes()["Baseline"],
+         **{f"AMS({th})": ams_only(th) for th in range(8, 0, -1)}},
+    )
     base = runner.run(app, evaluation_schemes()["Baseline"],
                       label="Baseline")
     acts, covs = {}, {}
@@ -396,6 +449,11 @@ def hbm_projection(
 ) -> ExperimentResult:
     """Memory-system energy on HBM1/HBM2 for Dyn-DMS + Dyn-AMS."""
     schemes = evaluation_schemes()
+    _prefetch(
+        runner, apps,
+        {"Baseline": schemes["Baseline"],
+         "Dyn-DMS+Dyn-AMS": schemes["Dyn-DMS+Dyn-AMS"]},
+    )
     rows = []
     ratios1, ratios2 = [], []
     for app in apps:
@@ -433,22 +491,23 @@ def fig13(
 ) -> ExperimentResult:
     """Activations vs queue size with DMS(2048), normalized to the
     128-entry baseline (no delay)."""
+    base_reports = runner.run_matrix(
+        apps, {"Baseline": evaluation_schemes()["Baseline"]}
+    )
+    acts: dict[str, dict[int, int]] = {app: {} for app in apps}
+    for size in QUEUE_SIZES:
+        sub = _sub_runner(runner, _queue_config(runner.config, size))
+        reports = sub.run_matrix(apps, {f"DMS2048/q{size}": dms_only(2048)})
+        for app in apps:
+            acts[app][size] = reports[(app, f"DMS2048/q{size}")].activations
     data: dict[str, dict[int, float]] = {}
     for app in apps:
-        base = runner.run(app, evaluation_schemes()["Baseline"],
-                          label="Baseline")
-        data[app] = {}
-        for size in QUEUE_SIZES:
-            sub = Runner(
-                scale=runner.scale,
-                seed=runner.seed,
-                config=_queue_config(runner.config, size),
-                verbose=runner.verbose,
-            )
-            r = sub.run(app, dms_only(2048), label=f"DMS2048/q{size}")
-            data[app][size] = (
-                r.activations / base.activations if base.activations else 1.0
-            )
+        base = base_reports[(app, "Baseline")]
+        data[app] = {
+            s: (acts[app][s] / base.activations
+                if base.activations else 1.0)
+            for s in QUEUE_SIZES
+        }
     rows = [[a] + [data[a][s] for s in QUEUE_SIZES] for a in apps]
     rows.append(
         ["GEOMEAN"]
@@ -565,6 +624,15 @@ def table2(
         classify_thrashing,
     )
 
+    _prefetch(
+        runner, apps,
+        {**_delay_sweep_schemes(), "AMS(8)": ams_only(8)},
+        measure_error=True,
+    )
+    _prefetch(
+        runner, apps,
+        {f"AMS({th})": ams_only(th) for th in (4, 2, 1)},
+    )
     rows = []
     matches = 0
     total = 0

@@ -1,34 +1,146 @@
-"""Experiment runner: simulate (workload x scheme) matrices with caching."""
+"""Experiment runner: simulate (workload x scheme) matrices fast.
+
+Three layers keep repeated figure reproductions cheap:
+
+1. **In-process memoization** — results are keyed by the *content* of the
+   cell (workload, scale, seed, full scheduler + GPU config,
+   measure_error), so two experiments that request the same baseline
+   under different labels share one simulation.
+2. **Persistent disk cache** (:mod:`repro.harness.cache`) — the same
+   content key addresses a JSON blob under ``.repro-cache/``; a warm
+   cache replays a whole matrix with zero simulations, across processes
+   and sessions. ``REPRO_NO_CACHE=1`` bypasses it.
+3. **Parallel execution** — ``Runner(jobs=N)`` fans the independent
+   cells of :meth:`Runner.run_matrix` out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor`. Cells are
+   deduplicated by content key before dispatch, and every cell (serial
+   or parallel) resets the global request-id counter first, so serial,
+   parallel, and cached runs produce field-identical reports.
+"""
 
 from __future__ import annotations
 
 import sys
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
+from repro.dram.request import reset_request_ids
+from repro.harness.cache import ResultCache, cache_key
 from repro.sim.report import SimReport
 from repro.sim.system import simulate
 from repro.workloads.registry import get_workload
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything needed to simulate one matrix cell in any process."""
+
+    app: str
+    scale: float
+    seed: int
+    config: Optional[GPUConfig]
+    scheme: SchedulerConfig
+    measure_error: bool
+
+    @property
+    def key(self) -> str:
+        """Content-addressed cache key of this cell."""
+        return cache_key(
+            app=self.app,
+            scale=self.scale,
+            seed=self.seed,
+            scheduler=self.scheme,
+            config=self.config,
+            measure_error=self.measure_error,
+        )
+
+
+def _simulate_cell(spec: CellSpec) -> tuple[SimReport, float]:
+    """Simulate one cell from scratch; returns (report, elapsed seconds).
+
+    Runs identically in the parent process and in pool workers: the
+    global request-id counter is re-seeded so request/drop ids — and
+    therefore the full report — depend only on the cell itself, not on
+    what simulated before it in the same process.
+    """
+    reset_request_ids()
+    workload = get_workload(spec.app, scale=spec.scale, seed=spec.seed)
+    start = time.perf_counter()
+    report = simulate(
+        workload,
+        scheduler=spec.scheme,
+        config=spec.config,
+        measure_error=spec.measure_error,
+    )
+    return report, time.perf_counter() - start
+
+
+def _simulate_cell_worker(
+    item: tuple[str, CellSpec]
+) -> tuple[str, SimReport, float]:
+    """Pool entry point: tags the result with its cache key."""
+    key, spec = item
+    report, elapsed = _simulate_cell(spec)
+    return key, report, elapsed
+
+
 @dataclass
 class Runner:
-    """Runs simulations and memoises results within a harness session.
+    """Runs simulations with memoization, disk caching, and parallelism.
 
-    The cache key is (app, scheme-label, scale, measure_error), so an
-    experiment that reuses another experiment's baseline does not re-run
-    it.
+    ``jobs`` controls matrix fan-out (1 = serial in-process; N > 1 uses a
+    process pool of N workers). ``cache=None`` disables the persistent
+    disk layer; the default honours ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``.
     """
 
     scale: float = 1.0
     seed: int = 7
     config: Optional[GPUConfig] = None
     verbose: bool = True
-    _cache: dict[tuple, SimReport] = field(default_factory=dict)
+    jobs: int = 1
+    cache: Optional[ResultCache] = field(default_factory=ResultCache)
+    #: Cells simulated (not served from memo/disk) over this runner's life.
+    simulations_run: int = 0
+    _memo: dict[str, SimReport] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    def _spec(
+        self, app: str, scheme: SchedulerConfig, measure_error: bool
+    ) -> CellSpec:
+        return CellSpec(
+            app=app,
+            scale=self.scale,
+            seed=self.seed,
+            config=self.config,
+            scheme=scheme,
+            measure_error=measure_error,
+        )
+
+    def _log(self, app: str, label: str, detail: str) -> None:
+        if self.verbose:
+            print(f"  [{app} / {label}] {detail}", file=sys.stderr)
+
+    def _finish(
+        self, key: str, spec: CellSpec, label: str,
+        report: SimReport, elapsed: float,
+    ) -> SimReport:
+        """Account, log, memoize, and persist one freshly simulated cell."""
+        self.simulations_run += 1
+        self._log(
+            spec.app, label,
+            f"{elapsed:.1f}s, acts={report.activations}, "
+            f"ipc={report.ipc:.2f}",
+        )
+        self._memo[key] = report
+        if self.cache is not None:
+            self.cache.store(key, report)
+        return report
+
+    # ------------------------------------------------------------------
     def run(
         self,
         app: str,
@@ -37,41 +149,81 @@ class Runner:
         label: Optional[str] = None,
         measure_error: bool = False,
     ) -> SimReport:
-        """Simulate one (app, scheme) cell."""
-        key = (app, label or scheme.name, self.scale, measure_error)
-        if key in self._cache:
-            return self._cache[key]
-        workload = get_workload(app, scale=self.scale, seed=self.seed)
-        start = time.time()
-        report = simulate(
-            workload,
-            scheduler=scheme,
-            config=self.config,
-            measure_error=measure_error,
-        )
-        if self.verbose:
-            print(
-                f"  [{app} / {label or scheme.name}] "
-                f"{time.time() - start:.1f}s, "
-                f"acts={report.activations}, ipc={report.ipc:.2f}",
-                file=sys.stderr,
-            )
-        self._cache[key] = report
-        return report
+        """Simulate one (app, scheme) cell, using every cache layer."""
+        label = label or scheme.name
+        spec = self._spec(app, scheme, measure_error)
+        key = spec.key
+        report = self._memo.get(key)
+        if report is not None:
+            return report
+        if self.cache is not None:
+            report = self.cache.load(key)
+            if report is not None:
+                self._log(app, label, "disk cache hit")
+                self._memo[key] = report
+                return report
+        report, elapsed = _simulate_cell(spec)
+        return self._finish(key, spec, label, report, elapsed)
 
+    # ------------------------------------------------------------------
     def run_matrix(
         self,
         apps: Iterable[str],
         schemes: dict[str, SchedulerConfig],
         *,
         measure_error: bool = False,
+        jobs: Optional[int] = None,
     ) -> dict[tuple[str, str], SimReport]:
-        """Simulate every (app, scheme) pair."""
-        results: dict[tuple[str, str], SimReport] = {}
+        """Simulate every (app, scheme) pair.
+
+        Cells sharing a content key (e.g. a baseline reused by several
+        experiments) are deduplicated before dispatch and simulated once.
+        With ``jobs > 1`` the deduplicated cells run concurrently in a
+        process pool; results are identical to a serial run.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        cells: dict[tuple[str, str], str] = {}
+        specs: dict[str, tuple[CellSpec, str]] = {}
         for app in apps:
             for label, scheme in schemes.items():
                 error = measure_error and scheme.ams.mode.value != "off"
-                results[(app, label)] = self.run(
-                    app, scheme, label=label, measure_error=error
-                )
-        return results
+                spec = self._spec(app, scheme, error)
+                key = spec.key
+                cells[(app, label)] = key
+                # First label wins for logging; the report is identical.
+                specs.setdefault(key, (spec, label))
+        todo: dict[str, tuple[CellSpec, str]] = {}
+        for key, (spec, label) in specs.items():
+            if key in self._memo:
+                continue
+            if self.cache is not None:
+                cached = self.cache.load(key)
+                if cached is not None:
+                    self._log(spec.app, label, "disk cache hit")
+                    self._memo[key] = cached
+                    continue
+            todo[key] = (spec, label)
+        if todo:
+            if jobs > 1 and len(todo) > 1:
+                self._run_pool(todo, jobs)
+            else:
+                for key, (spec, label) in todo.items():
+                    report, elapsed = _simulate_cell(spec)
+                    self._finish(key, spec, label, report, elapsed)
+        return {cell: self._memo[key] for cell, key in cells.items()}
+
+    def _run_pool(
+        self, todo: dict[str, tuple[CellSpec, str]], jobs: int
+    ) -> None:
+        """Fan deduplicated cells out over a process pool."""
+        items = [(key, spec) for key, (spec, _) in todo.items()]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            pending = {
+                pool.submit(_simulate_cell_worker, item) for item in items
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, report, elapsed = future.result()
+                    spec, label = todo[key]
+                    self._finish(key, spec, label, report, elapsed)

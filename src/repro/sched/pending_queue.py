@@ -16,6 +16,7 @@ reference — at admission, per Section IV-A.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import Deque, Iterable, Optional
 
@@ -38,6 +39,10 @@ class PendingQueue:
             {} for _ in range(num_banks)
         ]
         self._by_row: dict[tuple[int, int], dict[int, MemoryRequest]] = {}
+        # Live index of non-empty per-bank buckets, kept sorted so the
+        # scheduler scan visits banks in ascending index order (the
+        # deterministic tie-break order) without touching empty buckets.
+        self._pending_banks: list[int] = []
         self._ingress: Deque[MemoryRequest] = deque()
         self.peak_occupancy = 0
         self.total_admitted = 0
@@ -78,10 +83,14 @@ class PendingQueue:
         if rid in self._fifo:
             raise SchedulingError(f"request {rid} enqueued twice")
         self._fifo[rid] = request
-        self._by_bank[request.bank][rid] = request
+        bank_bucket = self._by_bank[request.bank]
+        if not bank_bucket:
+            insort(self._pending_banks, request.bank)
+        bank_bucket[rid] = request
         self._by_row.setdefault(request.bank_row, {})[rid] = request
         self.total_admitted += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._fifo))
+        if len(self._fifo) > self.peak_occupancy:
+            self.peak_occupancy = len(self._fifo)
 
     def remove(self, request: MemoryRequest, now: float) -> None:
         """Remove a request (issued to DRAM or dropped by AMS)."""
@@ -89,7 +98,10 @@ class PendingQueue:
         if rid not in self._fifo:
             raise SchedulingError(f"request {rid} not in pending queue")
         del self._fifo[rid]
-        del self._by_bank[request.bank][rid]
+        bank_bucket = self._by_bank[request.bank]
+        del bank_bucket[rid]
+        if not bank_bucket:
+            self._pending_banks.remove(request.bank)
         row_bucket = self._by_row[request.bank_row]
         del row_bucket[rid]
         if not row_bucket:
@@ -157,10 +169,13 @@ class PendingQueue:
         return iter(self._fifo.values())
 
     def banks_with_pending(self) -> Iterable[int]:
-        """Indices of banks that have at least one visible request."""
-        for bank, bucket in enumerate(self._by_bank):
-            if bucket:
-                yield bank
+        """Indices of banks with at least one visible request, ascending.
+
+        Returns the live internal index (no per-call scan or copy);
+        callers must treat it as read-only and must not remove requests
+        while iterating it.
+        """
+        return self._pending_banks
 
     def check_invariants(self) -> None:
         """Validate index consistency (used by property-based tests)."""
@@ -170,6 +185,11 @@ class PendingQueue:
             raise SchedulingError(
                 "index desync: "
                 f"fifo={len(self._fifo)} bank={count_bank} row={count_row}"
+            )
+        live = [b for b, bucket in enumerate(self._by_bank) if bucket]
+        if live != self._pending_banks:
+            raise SchedulingError(
+                f"pending-bank index desync: {self._pending_banks} != {live}"
             )
         for (bank, row), bucket in self._by_row.items():
             for req in bucket.values():

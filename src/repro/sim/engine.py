@@ -3,6 +3,12 @@
 A single global event heap ordered by (time, insertion sequence); all
 times are in *memory clock cycles* (see DESIGN.md §5). Insertion order
 breaks ties, making runs fully deterministic.
+
+Events may be cancelled: :meth:`Engine.at` returns an opaque handle that
+:meth:`Engine.cancel` invalidates. A cancelled entry stays on the heap
+(heaps do not support removal) but is discarded unexecuted — and
+uncounted — when it surfaces, so superseded wake-ups cost one pop instead
+of a full callback.
 """
 
 from __future__ import annotations
@@ -21,30 +27,51 @@ class Engine:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self._cancelled: set[int] = set()
         self.now: float = 0.0
         self.events_processed = 0
+        self.events_cancelled = 0
 
-    def at(self, time: float, fn: Event) -> None:
-        """Schedule ``fn`` to run at absolute ``time`` (clamped to now)."""
+    def at(self, time: float, fn: Event) -> int:
+        """Schedule ``fn`` to run at absolute ``time`` (clamped to now).
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
         if time < self.now:
             time = self.now
-        heapq.heappush(self._heap, (time, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        heapq.heappush(self._heap, (time, seq, fn))
+        self._seq = seq + 1
+        return seq
 
-    def after(self, delay: float, fn: Event) -> None:
+    def after(self, delay: float, fn: Event) -> int:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.at(self.now + delay, fn)
+        return self.at(self.now + delay, fn)
+
+    def cancel(self, handle: int) -> None:
+        """Invalidate a scheduled event; it is dropped when it surfaces."""
+        self._cancelled.add(handle)
+        self.events_cancelled += 1
 
     @property
     def idle(self) -> bool:
-        """True when no events remain."""
+        """True when no live events remain."""
+        self._drop_cancelled_head()
         return not self._heap
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next event, or None when idle."""
+        """Time of the next live event, or None when idle."""
+        self._drop_cancelled_head()
         return self._heap[0][0] if self._heap else None
+
+    def _drop_cancelled_head(self) -> None:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0][1] in cancelled:
+            cancelled.discard(heap[0][1])
+            heapq.heappop(heap)
 
     def run(
         self,
@@ -54,19 +81,28 @@ class Engine:
         """Process events until the heap drains, ``until`` is passed, or
         ``max_events`` have run (a deadlock/runaway guard)."""
         processed = 0
-        while self._heap:
-            time, _, fn = self._heap[0]
+        heap = self._heap
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        while heap:
+            time, seq, fn = heap[0]
+            if cancelled:
+                if seq in cancelled:
+                    cancelled.discard(seq)
+                    pop(heap)
+                    continue
             if until is not None and time > until:
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
             self.now = time
             fn()
             processed += 1
-            self.events_processed += 1
             if max_events is not None and processed >= max_events:
+                self.events_processed += processed
                 raise SimulationError(
                     f"exceeded max_events={max_events}; "
                     "possible simulation livelock"
                 )
+        self.events_processed += processed
         if until is not None and self.now < until:
             self.now = until

@@ -1,15 +1,63 @@
-"""Simulation result container and derived metrics."""
+"""Simulation result container, derived metrics, and serialization.
+
+:meth:`SimReport.to_dict` / :meth:`SimReport.from_dict` are *lossless*:
+a round-tripped report compares equal (``==``) to the original, field by
+field. This is what lets the persistent result cache
+(:mod:`repro.harness.cache`) and the parallel runner treat
+simulate-then-store-then-load as indistinguishable from a fresh run.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.config.energy import DRAMEnergyParams
 from repro.dram.energy import EnergyBreakdown, compute_energy
 from repro.dram.stats import ChannelStats, merge_rbl_histograms
 from repro.vp.predictor import DropRecord
+
+
+def _encode_tag(tag: Any) -> Any:
+    """JSON-encode a workload tag, preserving tuples (the usual shape)."""
+    if isinstance(tag, tuple):
+        return {"__tuple__": [_encode_tag(item) for item in tag]}
+    if isinstance(tag, list):
+        return {"__list__": [_encode_tag(item) for item in tag]}
+    return tag
+
+
+def _decode_tag(tag: Any) -> Any:
+    """Inverse of :func:`_encode_tag`."""
+    if isinstance(tag, dict):
+        if "__tuple__" in tag:
+            return tuple(_decode_tag(item) for item in tag["__tuple__"])
+        if "__list__" in tag:
+            return [_decode_tag(item) for item in tag["__list__"]]
+    return tag
+
+
+def _drop_to_dict(drop: DropRecord) -> dict:
+    return {
+        "rid": drop.rid,
+        "addr": drop.addr,
+        "tag": _encode_tag(drop.tag),
+        "donor_line_addr": drop.donor_line_addr,
+        "time": drop.time,
+        "channel": drop.channel,
+    }
+
+
+def _drop_from_dict(data: dict) -> DropRecord:
+    return DropRecord(
+        rid=data["rid"],
+        addr=data["addr"],
+        tag=_decode_tag(data["tag"]),
+        donor_line_addr=data["donor_line_addr"],
+        time=data["time"],
+        channel=data["channel"],
+    )
 
 
 @dataclass
@@ -26,6 +74,20 @@ class L2Summary:
         """Hits / (hits + misses)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (lossless)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "fills": self.fills,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "L2Summary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass
@@ -133,6 +195,62 @@ class SimReport:
         if baseline.activations <= 0:
             return 1.0
         return self.activations / baseline.activations
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-serializable form; see :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "elapsed_mem_cycles": self.elapsed_mem_cycles,
+            "elapsed_core_cycles": self.elapsed_core_cycles,
+            "total_instructions": self.total_instructions,
+            "channel_stats": [s.to_dict() for s in self.channel_stats],
+            "drops": [_drop_to_dict(d) for d in self.drops],
+            "l2": self.l2.to_dict(),
+            "energy": {
+                "row_nj": self.energy.row_nj,
+                "access_nj": self.energy.access_nj,
+                "background_nj": self.energy.background_nj,
+            },
+            "energy_params": {
+                "technology": self.energy_params.technology,
+                "e_act_nj": self.energy_params.e_act_nj,
+                "e_rd_nj": self.energy_params.e_rd_nj,
+                "e_wr_nj": self.energy_params.e_wr_nj,
+                "background_mw": self.energy_params.background_mw,
+                "e_ref_nj": self.energy_params.e_ref_nj,
+                "baseline_row_energy_fraction": (
+                    self.energy_params.baseline_row_energy_fraction
+                ),
+            },
+            "final_dms_delays": list(self.final_dms_delays),
+            "final_th_rbls": list(self.final_th_rbls),
+            "application_error": self.application_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimReport":
+        """Rebuild a report; ``from_dict(r.to_dict()) == r`` holds."""
+        return cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            elapsed_mem_cycles=data["elapsed_mem_cycles"],
+            elapsed_core_cycles=data["elapsed_core_cycles"],
+            total_instructions=data["total_instructions"],
+            channel_stats=[
+                ChannelStats.from_dict(s) for s in data["channel_stats"]
+            ],
+            drops=[_drop_from_dict(d) for d in data["drops"]],
+            l2=L2Summary.from_dict(data["l2"]),
+            energy=EnergyBreakdown(**data["energy"]),
+            energy_params=DRAMEnergyParams(**data["energy_params"]),
+            final_dms_delays=list(data["final_dms_delays"]),
+            final_th_rbls=list(data["final_th_rbls"]),
+            application_error=data["application_error"],
+        )
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

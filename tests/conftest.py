@@ -1,0 +1,12 @@
+"""Tier-1 test isolation.
+
+The tier-1 suite must exercise the simulator, not replay persisted
+results: a stale ``.repro-cache/`` from an older build could otherwise
+mask regressions. The persistent result cache is therefore disabled for
+every test; cache-specific tests opt back in with
+``ResultCache(tmp_path, enabled=True)``.
+"""
+
+import os
+
+os.environ["REPRO_NO_CACHE"] = "1"

@@ -72,3 +72,55 @@ class TestEngine:
         e.at(4, lambda: None)
         assert not e.idle
         assert e.peek_time() == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self) -> None:
+        e = Engine()
+        log: list[str] = []
+        handle = e.at(10, lambda: log.append("cancelled"))
+        e.at(5, lambda: log.append("kept"))
+        e.cancel(handle)
+        e.run()
+        assert log == ["kept"]
+        assert e.events_cancelled == 1
+
+    def test_cancelled_events_not_counted_as_processed(self) -> None:
+        e = Engine()
+        handles = [e.at(t, lambda: None) for t in (1, 2, 3)]
+        e.cancel(handles[1])
+        e.run()
+        assert e.events_processed == 2
+        assert e.events_cancelled == 1
+
+    def test_cancel_clears_idle_and_peek(self) -> None:
+        e = Engine()
+        handle = e.at(4, lambda: None)
+        e.cancel(handle)
+        assert e.idle
+        assert e.peek_time() is None
+
+    def test_peek_skips_cancelled_head(self) -> None:
+        e = Engine()
+        first = e.at(2, lambda: None)
+        e.at(9, lambda: None)
+        e.cancel(first)
+        assert e.peek_time() == 9
+
+    def test_cancel_unknown_handle_is_harmless(self) -> None:
+        e = Engine()
+        e.cancel(12345)
+        e.at(1, lambda: None)
+        e.run()
+        assert e.events_processed == 1
+
+    def test_cancelled_event_not_run_by_until(self) -> None:
+        e = Engine()
+        log: list[float] = []
+        handle = e.at(3, lambda: log.append(e.now))
+        e.at(7, lambda: log.append(e.now))
+        e.cancel(handle)
+        e.run(until=5)
+        assert log == []
+        e.run()
+        assert log == [7]
