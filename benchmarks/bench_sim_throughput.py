@@ -50,13 +50,22 @@ def _cell_schemes() -> dict:
 
 
 def measure_cell(app: str, label: str, scheme, *, scale: float,
-                 seed: int) -> dict:
-    """Simulate one cell from scratch and report engine throughput."""
+                 seed: int, telemetry_window: int = 0) -> dict:
+    """Simulate one cell from scratch and report engine throughput.
+
+    ``telemetry_window > 0`` attaches a live :class:`MetricsHub` with
+    that window size, timing the windowed sampler alongside the run.
+    """
     from repro.dram.request import reset_request_ids
+    from repro.telemetry import MetricsHub
 
     reset_request_ids()
     workload = get_workload(app, scale=scale, seed=seed)
-    system = GPUSystem(scheduler=scheme)
+    hub = (
+        MetricsHub(window_cycles=telemetry_window)
+        if telemetry_window > 0 else None
+    )
+    system = GPUSystem(scheduler=scheme, telemetry=hub)
     streams = workload.warp_streams(system.config)
     start = time.perf_counter()
     system.run(streams, workload_name=workload.name)
@@ -69,6 +78,34 @@ def measure_cell(app: str, label: str, scheme, *, scale: float,
         "events_cancelled": system.engine.events_cancelled,
         "wall_s": round(wall, 4),
         "events_per_s": round(events / wall) if wall > 0 else 0,
+    }
+
+
+def measure_telemetry_overhead(apps, *, scale: float, seed: int,
+                               window: int) -> dict:
+    """Wall-clock cost of running the windowed telemetry sampler.
+
+    Times every (app, scheme) cell twice — hub off, then hub on with
+    ``window``-cycle sampling — and reports the relative slowdown. The
+    disabled path must stay within the observability budget (the hub
+    off number is the one the ``cells`` section also measures: the
+    no-op ``NULL_HUB`` leaves the hot loops untouched).
+    """
+    off = on = 0.0
+    for app in apps:
+        for label, scheme in _cell_schemes().items():
+            off += measure_cell(app, label, scheme, scale=scale,
+                                seed=seed)["wall_s"]
+            on += measure_cell(app, label, scheme, scale=scale,
+                               seed=seed,
+                               telemetry_window=window)["wall_s"]
+    return {
+        "window_cycles": window,
+        "off_wall_s": round(off, 4),
+        "on_wall_s": round(on, 4),
+        "overhead_pct": (
+            round(100.0 * (on - off) / off, 2) if off > 0 else None
+        ),
     }
 
 
@@ -92,7 +129,8 @@ def measure_matrix(apps, *, scale: float, seed: int, jobs: int) -> dict:
 
 
 def run_benchmark(*, scale: float, seed: int, jobs: int,
-                  apps=DEFAULT_APPS, matrix: bool = True) -> dict:
+                  apps=DEFAULT_APPS, matrix: bool = True,
+                  telemetry_window: int = 0) -> dict:
     cells = [
         measure_cell(app, label, scheme, scale=scale, seed=seed)
         for app in apps
@@ -118,6 +156,10 @@ def run_benchmark(*, scale: float, seed: int, jobs: int,
         result["matrix"] = measure_matrix(
             apps, scale=scale, seed=seed, jobs=jobs
         )
+    if telemetry_window > 0:
+        result["telemetry"] = measure_telemetry_overhead(
+            apps, scale=scale, seed=seed, window=telemetry_window
+        )
     return result
 
 
@@ -133,12 +175,18 @@ def main(argv=None) -> int:
                         help="worker count for the matrix timing")
     parser.add_argument("--no-matrix", action="store_true",
                         help="skip the serial-vs-parallel matrix timing")
+    parser.add_argument("--telemetry", type=int, nargs="?", const=4096,
+                        default=0, metavar="WINDOW",
+                        help="also time every cell with a live telemetry"
+                        " hub (optional window size, default 4096) and"
+                        " report the sampling overhead")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help="output JSON path")
     args = parser.parse_args(argv)
     result = run_benchmark(
         scale=args.scale, seed=args.seed, jobs=max(1, args.jobs),
         matrix=not args.no_matrix,
+        telemetry_window=max(0, args.telemetry),
     )
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
@@ -155,6 +203,10 @@ def main(argv=None) -> int:
     if "matrix" in result:
         m = result["matrix"]
         print(f"matrix: {m}")
+    if "telemetry" in result:
+        t = result["telemetry"]
+        print(f"telemetry({t['window_cycles']}): off {t['off_wall_s']}s"
+              f" on {t['on_wall_s']}s overhead {t['overhead_pct']}%")
     print(f"wrote {out}")
     return 0
 

@@ -9,9 +9,10 @@ Row Buffer Locality (RBL) terminology follows paper Section II-D:
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from bisect import bisect_right
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, Optional
+from typing import Iterable
 
 
 @dataclass(slots=True)
@@ -51,13 +52,23 @@ class BusUtilizationTracker:
     """Tracks data-bus busy intervals and answers windowed queries.
 
     The channel's data bus serialises bursts, so intervals arrive sorted
-    and non-overlapping; queries (used by the Dyn-DMS profiler) advance
-    monotonically in time.
+    and non-overlapping. Two kinds of query coexist:
+
+    * :meth:`busy_since_last_query` — the Dyn-DMS profiler's cursor
+      query, advancing monotonically in time. The cursor is the
+      profiler's *private* state: it moves only here.
+    * :meth:`busy_in` — a pure windowed query for telemetry readers.
+      It never touches the cursor, so sampling the bus concurrently
+      with the profiler cannot reset the profiling window's counter.
+
+    Intervals are retained for the life of the run (they also back the
+    telemetry exporters); the cursor is an index, not a drain.
     """
 
     def __init__(self) -> None:
-        self._pending: Deque[tuple[float, float]] = deque()
+        self._intervals: list[tuple[float, float]] = []
         self._cursor: float = 0.0
+        self._cursor_idx: int = 0
         self.total_busy: float = 0.0
 
     def add(self, start: float, end: float) -> None:
@@ -65,22 +76,55 @@ class BusUtilizationTracker:
         if end <= start:
             return
         self.total_busy += end - start
-        self._pending.append((start, end))
+        self._intervals.append((start, end))
+
+    @property
+    def last_end(self) -> float:
+        """End time of the latest recorded burst (0.0 when none)."""
+        return self._intervals[-1][1] if self._intervals else 0.0
 
     def busy_since_last_query(self, now: float) -> float:
         """Busy cycles in ``[previous query time, now)``; advances the cursor."""
         busy = 0.0
-        while self._pending:
-            start, end = self._pending[0]
+        intervals = self._intervals
+        i = self._cursor_idx
+        n = len(intervals)
+        while i < n:
+            start, end = intervals[i]
             if start >= now:
                 break
             if end <= now:
                 busy += end - max(start, self._cursor)
-                self._pending.popleft()
+                i += 1
             else:
                 busy += now - max(start, self._cursor)
                 break
+        self._cursor_idx = i
         self._cursor = now
+        return busy
+
+    def busy_in(self, start: float, end: float) -> float:
+        """Busy cycles overlapping ``[start, end)`` — non-destructive.
+
+        Safe to call in any order and concurrently with the profiler's
+        cursor query; neither observes the other.
+        """
+        if end <= start:
+            return 0.0
+        intervals = self._intervals
+        # First interval that could overlap: the last one starting at or
+        # before ``start`` (it may extend past it), else the next one.
+        i = bisect_right(intervals, (start, float("inf"))) - 1
+        if i < 0 or intervals[i][1] <= start:
+            i += 1
+        busy = 0.0
+        n = len(intervals)
+        while i < n:
+            iv_start, iv_end = intervals[i]
+            if iv_start >= end:
+                break
+            busy += min(iv_end, end) - max(iv_start, start)
+            i += 1
         return busy
 
     def __eq__(self, other: object) -> bool:
@@ -89,7 +133,8 @@ class BusUtilizationTracker:
         return (
             self.total_busy == other.total_busy
             and self._cursor == other._cursor
-            and self._pending == other._pending
+            and self._cursor_idx == other._cursor_idx
+            and self._intervals == other._intervals
         )
 
     def to_dict(self) -> dict:
@@ -97,7 +142,8 @@ class BusUtilizationTracker:
         return {
             "total_busy": self.total_busy,
             "cursor": self._cursor,
-            "pending": [list(iv) for iv in self._pending],
+            "cursor_idx": self._cursor_idx,
+            "intervals": [list(iv) for iv in self._intervals],
         }
 
     @classmethod
@@ -106,9 +152,10 @@ class BusUtilizationTracker:
         tracker = cls()
         tracker.total_busy = data["total_busy"]
         tracker._cursor = data["cursor"]
-        tracker._pending = deque(
-            (start, end) for start, end in data["pending"]
-        )
+        tracker._cursor_idx = data["cursor_idx"]
+        tracker._intervals = [
+            (start, end) for start, end in data["intervals"]
+        ]
         return tracker
 
 

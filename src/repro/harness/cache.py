@@ -38,7 +38,10 @@ from repro.sim.report import SimReport
 
 #: Bump whenever the on-disk blob layout or simulator semantics change in
 #: a way that invalidates previously stored results.
-CACHE_FORMAT_VERSION = 1
+#: v2: BusUtilizationTracker serialises retained intervals + cursor index
+#: (telemetry-safe windowed queries), and reports carry an optional
+#: ``timeline`` section.
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -7,6 +7,7 @@ Examples::
     repro-harness all --scale 0.25 --no-cache
     repro-harness cache info
     repro-harness cache clear
+    repro-harness trace Dyn-DMS SCP --scale 0.5 --out-dir traces
     python -m repro.harness.cli table2
 """
 
@@ -14,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.runner import Runner
+from repro.harness.schemes import WINDOW_CYCLES, evaluation_schemes
 
 
 def _cache_main(argv: list[str]) -> int:
@@ -50,11 +53,98 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _safe_label(label: str) -> str:
+    """Scheme label as a filename fragment."""
+    return (
+        label.replace("+", "_plus_").replace("(", "").replace(")", "")
+        .replace(" ", "_")
+    )
+
+
+def _trace_main(argv: list[str]) -> int:
+    """The ``repro-harness trace <scheme> <workload>`` subcommand."""
+    schemes = evaluation_schemes()
+    parser = argparse.ArgumentParser(
+        prog="repro-harness trace",
+        description=(
+            "Run one (scheme, workload) cell with windowed telemetry and "
+            "export a JSONL time series plus a Perfetto-loadable Chrome "
+            "trace-event JSON."
+        ),
+    )
+    parser.add_argument(
+        "scheme",
+        choices=sorted(schemes),
+        help="scheduling scheme (paper Fig. 12 legend label)",
+    )
+    parser.add_argument(
+        "workload",
+        help="Table II application abbreviation (e.g. SCP) or 'synthetic'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (smaller = faster)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload data/trace seed"
+    )
+    parser.add_argument(
+        "--window", type=int, default=WINDOW_CYCLES,
+        help="telemetry window length, memory cycles",
+    )
+    parser.add_argument(
+        "--out-dir", default="traces",
+        help="directory receiving the exported files",
+    )
+    parser.add_argument(
+        "--no-chrome", action="store_true",
+        help="skip the Chrome trace (JSONL only; much smaller)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the report summary"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.telemetry.export import system_chrome_trace, write_chrome_trace
+    from repro.telemetry.export import write_jsonl
+
+    runner = Runner(
+        scale=args.scale, seed=args.seed, verbose=not args.quiet, cache=None
+    )
+    report, system, hub = runner.run_traced(
+        args.workload,
+        schemes[args.scheme],
+        window_cycles=args.window,
+        log_commands=not args.no_chrome,
+    )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.workload}_{_safe_label(args.scheme)}"
+    jsonl_path = out_dir / f"{stem}.telemetry.jsonl"
+    windows = write_jsonl(report.timeline, jsonl_path)
+    if not args.quiet:
+        print(report.summary())
+    print(f"wrote {jsonl_path} ({windows} windows)")
+    if not args.no_chrome:
+        trace_path = out_dir / f"{stem}.trace.json"
+        document = system_chrome_trace(
+            system, drops=report.drops, timeline=report.timeline
+        )
+        n_events = write_chrome_trace(document, trace_path)
+        print(
+            f"wrote {trace_path} ({n_events} events; open in "
+            "https://ui.perfetto.dev)"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or ``all``) and print its tables."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -65,7 +155,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (paper figure/table) or 'all' "
-        "(also: 'cache clear|info' to manage the result cache)",
+        "(also: 'cache clear|info' to manage the result cache, "
+        "'trace <scheme> <workload>' to export telemetry)",
     )
     parser.add_argument(
         "--apps",

@@ -31,7 +31,8 @@ from repro.config.scheduler import SchedulerConfig
 from repro.dram.request import reset_request_ids
 from repro.harness.cache import ResultCache, cache_key
 from repro.sim.report import SimReport
-from repro.sim.system import simulate
+from repro.sim.system import GPUSystem, simulate
+from repro.telemetry.hub import DEFAULT_WINDOW_CYCLES, MetricsHub
 from repro.workloads.registry import get_workload
 
 
@@ -164,6 +165,48 @@ class Runner:
                 return report
         report, elapsed = _simulate_cell(spec)
         return self._finish(key, spec, label, report, elapsed)
+
+    # ------------------------------------------------------------------
+    def run_traced(
+        self,
+        app: str,
+        scheme: SchedulerConfig,
+        *,
+        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+        log_commands: bool = True,
+    ) -> tuple[SimReport, GPUSystem, MetricsHub]:
+        """Simulate one cell with full observability attached.
+
+        Returns ``(report, system, hub)``: the report carries the
+        windowed ``timeline``, the system retains the per-channel DRAM
+        command logs (for the Chrome trace exporter), and the hub holds
+        the named counters/gauges. Traced runs always simulate from
+        scratch — command logs live on the system, not in the report,
+        so neither the memo nor the disk cache can serve them — but the
+        report itself is still deterministic and field-identical (minus
+        ``timeline``) to an untraced run of the same cell.
+        """
+        reset_request_ids()
+        workload = get_workload(app, scale=self.scale, seed=self.seed)
+        hub = MetricsHub(window_cycles=window_cycles)
+        system = GPUSystem(
+            config=self.config,
+            scheduler=scheme,
+            log_commands=log_commands,
+            telemetry=hub,
+        )
+        start = time.perf_counter()
+        report = system.run(
+            workload.warp_streams(system.config),
+            workload_name=workload.name,
+        )
+        self.simulations_run += 1
+        self._log(
+            app, scheme.name,
+            f"traced in {time.perf_counter() - start:.1f}s, "
+            f"{len(report.timeline or [])} windows",
+        )
+        return report, system, hub
 
     # ------------------------------------------------------------------
     def run_matrix(

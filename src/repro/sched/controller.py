@@ -32,6 +32,7 @@ from repro.sched.ams import AMSUnit
 from repro.sched.dms import DMSUnit
 from repro.sched.pending_queue import PendingQueue
 from repro.sim.engine import Engine
+from repro.telemetry.hub import NULL_HUB, MetricsHub
 from repro.vp.predictor import DropRecord, ValuePredictor
 
 #: reply_fn(request, approx, donor_line_addr) — called at data-return time.
@@ -59,12 +60,16 @@ class MemoryController:
         engine: Engine,
         reply_fn: ReplyFn,
         predictor: Optional[ValuePredictor] = None,
+        telemetry: Optional[MetricsHub] = None,
     ) -> None:
         self.channel = channel
         self.config = config
         self.engine = engine
         self.reply_fn = reply_fn
         self.predictor = predictor
+        # Counters/gauges fire only at low-frequency points (window
+        # ticks, drops); with the default NULL_HUB every call is a no-op.
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.queue = PendingQueue(
             config.pending_queue_size, config.mapping.banks_per_channel
         )
@@ -130,6 +135,13 @@ class MemoryController:
         self.dms.on_window(bwutil)
         self.ams.set_halted(self.dms.wants_ams_halted)
         self.ams.on_window()
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            ch = self.channel.channel_id
+            telemetry.inc(f"mc{ch}.profile_ticks")
+            telemetry.gauge(f"mc{ch}.profile.bwutil", bwutil)
+            telemetry.gauge(f"mc{ch}.dms.x", self.dms.current_delay)
+            telemetry.gauge(f"mc{ch}.ams.th_rbl", float(self.ams.th_rbl))
         idle_window = (
             self.queue.empty and self._window_arrivals == 0 and busy == 0.0
         )
@@ -297,6 +309,10 @@ class MemoryController:
             )
         self.ams.on_drop(len(victims))
         self.channel.stats.requests_dropped += len(victims)
+        if self.telemetry.enabled:
+            self.telemetry.inc(
+                f"mc{self.channel.channel_id}.ams.drops", len(victims)
+            )
 
     # ------------------------------------------------------------------
     def _wake_at(self, time: float) -> None:

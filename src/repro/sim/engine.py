@@ -61,6 +61,25 @@ class Engine:
         self._drop_cancelled_head()
         return not self._heap
 
+    @property
+    def live_event_count(self) -> int:
+        """Number of scheduled-but-unexecuted events, cancellations
+        excluded. Telemetry's window recorder uses this to decide
+        whether re-arming itself would keep an otherwise-drained heap
+        alive."""
+        return len(self._heap) - len(self._cancelled)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (monotonic, includes cancelled).
+
+        ``events_processed`` is folded in from a hot-loop local only
+        when :meth:`run` returns, so this is the counter to sample for
+        *live* activity telemetry — reading it costs nothing on the
+        event loop.
+        """
+        return self._seq
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when idle."""
         self._drop_cancelled_head()

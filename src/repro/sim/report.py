@@ -16,6 +16,7 @@ from typing import Any, Optional
 from repro.config.energy import DRAMEnergyParams
 from repro.dram.energy import EnergyBreakdown, compute_energy
 from repro.dram.stats import ChannelStats, merge_rbl_histograms
+from repro.telemetry.series import Timeline
 from repro.vp.predictor import DropRecord
 
 
@@ -118,6 +119,9 @@ class SimReport:
     final_th_rbls: list[int] = field(default_factory=list)
     #: Application error, filled in by the approximation replay pipeline.
     application_error: Optional[float] = None
+    #: Windowed telemetry series; present only when the run was executed
+    #: with a :class:`~repro.telemetry.hub.MetricsHub` attached.
+    timeline: Optional[Timeline] = None
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +233,9 @@ class SimReport:
             "final_dms_delays": list(self.final_dms_delays),
             "final_th_rbls": list(self.final_th_rbls),
             "application_error": self.application_error,
+            "timeline": (
+                self.timeline.to_dict() if self.timeline is not None else None
+            ),
         }
 
     @classmethod
@@ -250,6 +257,7 @@ class SimReport:
             final_dms_delays=list(data["final_dms_delays"]),
             final_th_rbls=list(data["final_th_rbls"]),
             application_error=data["application_error"],
+            timeline=Timeline.from_dict(data.get("timeline")),
         )
 
     # ------------------------------------------------------------------
@@ -270,4 +278,9 @@ class SimReport:
         ]
         if self.application_error is not None:
             lines.append(f"  app error      {self.application_error:.2%}")
+        if self.timeline is not None:
+            lines.append(
+                f"  telemetry      {len(self.timeline)} windows "
+                f"of {self.timeline.window_cycles} cycles"
+            )
         return "\n".join(lines)

@@ -21,6 +21,8 @@ from repro.gpu.warp import Access, Warp, WarpOp
 from repro.sched.controller import MemoryController
 from repro.sim.engine import Engine
 from repro.sim.report import L2Summary, SimReport
+from repro.telemetry.hub import NULL_HUB, MetricsHub
+from repro.telemetry.sampler import WindowSeries
 from repro.vp.predictor import make_predictor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -40,9 +42,13 @@ class GPUSystem:
         *,
         record_activations: bool = True,
         log_commands: bool = False,
+        telemetry: Optional[MetricsHub] = None,
     ) -> None:
         self.config = config or GPUConfig()
         self.scheduler = scheduler or baseline_scheduler()
+        #: Opt-in observability hub; :data:`NULL_HUB` (all no-ops) when
+        #: absent, so the hot path is unchanged with telemetry off.
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.config.validate()
         self.scheduler.validate()
         self.engine = Engine()
@@ -67,6 +73,7 @@ class GPUSystem:
                 engine=self.engine,
                 reply_fn=self._make_reply_fn(ch),
                 predictor=make_predictor(self.scheduler.vp, self.l2s[ch]),
+                telemetry=self.telemetry,
             )
             for ch, channel in enumerate(self.channels)
         ]
@@ -184,6 +191,10 @@ class GPUSystem:
         self.frontend = GPUFrontend(
             self.engine, self.config, warp_streams, self._mem_access
         )
+        sampler: Optional[WindowSeries] = None
+        if self.telemetry.enabled:
+            sampler = WindowSeries(self.telemetry, self)
+            sampler.start()
         self.frontend.start()
         self.engine.run(max_events=max_events)
         if not self.frontend.all_finished:
@@ -209,6 +220,9 @@ class GPUSystem:
             self.config.mem_clock_mhz,
         )
         drops = [d for mc in self.controllers for d in mc.drops]
+        timeline = (
+            sampler.finalize(elapsed_mem) if sampler is not None else None
+        )
         return SimReport(
             workload=workload_name,
             scheme=self.scheduler.name,
@@ -222,6 +236,7 @@ class GPUSystem:
             energy_params=self.config.energy,
             final_dms_delays=[mc.dms.current_delay for mc in self.controllers],
             final_th_rbls=[mc.ams.th_rbl for mc in self.controllers],
+            timeline=timeline,
         )
 
 
@@ -232,17 +247,20 @@ def simulate(
     config: Optional[GPUConfig] = None,
     record_activations: bool = True,
     measure_error: bool = False,
+    telemetry: Optional[MetricsHub] = None,
 ) -> SimReport:
     """Simulate ``workload`` under ``scheduler`` on the Table I GPU.
 
     With ``measure_error=True`` the AMS drop log is replayed through the
     workload's kernel (values substituted by the VP's donor lines) and
-    ``report.application_error`` is filled in.
+    ``report.application_error`` is filled in. With a ``telemetry`` hub
+    attached, ``report.timeline`` carries the per-window series.
     """
     system = GPUSystem(
         config=config,
         scheduler=scheduler,
         record_activations=record_activations,
+        telemetry=telemetry,
     )
     streams = workload.warp_streams(system.config)
     report = system.run(streams, workload_name=workload.name)

@@ -1,0 +1,34 @@
+"""Windowed telemetry and trace export (opt-in observability layer).
+
+See :mod:`repro.telemetry.hub` for the opt-in contract, and
+``repro-harness trace <scheme> <workload>`` for the CLI entry point.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    system_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.hub import (
+    DEFAULT_WINDOW_CYCLES,
+    NULL_HUB,
+    MetricsHub,
+    NullHub,
+)
+from repro.telemetry.sampler import WindowSeries
+from repro.telemetry.series import Timeline, WindowSample
+
+__all__ = [
+    "DEFAULT_WINDOW_CYCLES",
+    "MetricsHub",
+    "NullHub",
+    "NULL_HUB",
+    "Timeline",
+    "WindowSample",
+    "WindowSeries",
+    "chrome_trace",
+    "system_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,247 @@
+"""Trace exporters: JSONL time series and Chrome trace-event JSON.
+
+Two complementary views of one run:
+
+* :func:`write_jsonl` — the windowed :class:`Timeline` as one JSON
+  object per line, ready for pandas/jq/matplotlib (see EXPERIMENTS.md
+  for a Fig. 9-style X-vs-window recipe).
+* :func:`write_chrome_trace` — a Chrome trace-event file loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``: one
+  process per channel, one thread per bank, a complete-event span per
+  DRAM command (ACT/RD/WR/PRE/REF, durations from the timing
+  parameters), an instant event per AMS drop, and counter tracks for
+  the per-window BWUTIL / queue depth / X / Th_RBL trajectories.
+
+Timestamps are memory cycles exported as trace microseconds (1 cycle =
+1 us), so Perfetto's time axis reads directly in cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.config.timing import DRAMTimings
+from repro.dram.commands import CommandRecord, DRAMCommand
+from repro.telemetry.series import Timeline
+from repro.vp.predictor import DropRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.system import GPUSystem
+
+#: Synthetic thread id for the per-channel drop track (banks use their
+#: own indices, which are small non-negative ints).
+DROP_TID = 999
+
+
+def write_jsonl(timeline: Timeline, path: str | os.PathLike) -> int:
+    """Write one JSON object per window sample; returns the line count."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for sample in timeline:
+            fh.write(json.dumps(sample.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(timeline)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+def _command_duration(record: CommandRecord, timings: DRAMTimings) -> float:
+    """Visualised span length of one DRAM command, memory cycles."""
+    cmd = record.command
+    if cmd is DRAMCommand.ACTIVATE:
+        return float(timings.tRCD)
+    if cmd is DRAMCommand.PRECHARGE:
+        return float(timings.tRP)
+    if cmd is DRAMCommand.READ:
+        return float(timings.tCL + timings.tBURST)
+    if cmd is DRAMCommand.WRITE:
+        return float(timings.tCWL + timings.tBURST)
+    return float(timings.tRFC)  # REFRESH
+
+
+def command_events(
+    channel_id: int,
+    commands: Iterable[CommandRecord],
+    timings: DRAMTimings,
+) -> list[dict]:
+    """Complete-event spans for one channel's command log."""
+    events = []
+    for record in commands:
+        events.append(
+            {
+                "name": f"{record.command.value} r{record.row}",
+                "cat": "dram",
+                "ph": "X",
+                "ts": record.time,
+                "dur": _command_duration(record, timings),
+                "pid": channel_id,
+                "tid": record.bank,
+                "args": {
+                    "row": record.row,
+                    "bank_group": record.bank_group,
+                },
+            }
+        )
+    return events
+
+
+def drop_events(drops: Iterable[DropRecord]) -> list[dict]:
+    """Instant events marking AMS drops on each channel's drop track."""
+    events = []
+    for drop in drops:
+        events.append(
+            {
+                "name": "AMS drop",
+                "cat": "ams",
+                "ph": "i",
+                "s": "t",
+                "ts": drop.time,
+                "pid": drop.channel,
+                "tid": DROP_TID,
+                "args": {
+                    "rid": drop.rid,
+                    "addr": drop.addr,
+                    "donor_line_addr": drop.donor_line_addr,
+                },
+            }
+        )
+    return events
+
+
+def counter_events(timeline: Optional[Timeline]) -> list[dict]:
+    """Counter tracks for the windowed trajectories (pid 0)."""
+    if timeline is None:
+        return []
+    events = []
+    for sample in timeline:
+        ts = sample.start
+        events.append(
+            {
+                "name": "BWUTIL",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "args": {"bwutil": round(sample.bwutil, 6)},
+            }
+        )
+        events.append(
+            {
+                "name": "queue depth",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "args": {"pending": sample.queue_depth},
+            }
+        )
+        events.append(
+            {
+                "name": "DMS X",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "args": {
+                    f"ch{idx}": x for idx, x in enumerate(sample.dms_x)
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "AMS Th_RBL",
+                "ph": "C",
+                "ts": ts,
+                "pid": 0,
+                "args": {
+                    f"ch{idx}": th for idx, th in enumerate(sample.th_rbl)
+                },
+            }
+        )
+    return events
+
+
+def _metadata_events(
+    num_channels: int, banks_per_channel: int
+) -> list[dict]:
+    """Process/thread naming so Perfetto shows channels and banks."""
+    events = []
+    for ch in range(num_channels):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": ch,
+                "args": {"name": f"channel {ch}"},
+            }
+        )
+        for bank in range(banks_per_channel):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": ch,
+                    "tid": bank,
+                    "args": {"name": f"bank {bank}"},
+                }
+            )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": ch,
+                "tid": DROP_TID,
+                "args": {"name": "AMS drops"},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    *,
+    command_logs: Sequence[Optional[Sequence[CommandRecord]]],
+    timings: DRAMTimings,
+    banks_per_channel: int,
+    drops: Iterable[DropRecord] = (),
+    timeline: Optional[Timeline] = None,
+) -> dict:
+    """Build the trace-event JSON document for one run."""
+    events: list[dict] = _metadata_events(
+        len(command_logs), banks_per_channel
+    )
+    for ch, log in enumerate(command_logs):
+        if log:
+            events.extend(command_events(ch, log, timings))
+    events.extend(drop_events(drops))
+    events.extend(counter_events(timeline))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "memory cycles (1 cycle = 1 us)"},
+    }
+
+
+def system_chrome_trace(
+    system: "GPUSystem",
+    *,
+    drops: Iterable[DropRecord] = (),
+    timeline: Optional[Timeline] = None,
+) -> dict:
+    """Trace-event document straight from a finished :class:`GPUSystem`.
+
+    Requires the system to have been built with ``log_commands=True``;
+    channels without a command log contribute only drop/counter tracks.
+    """
+    return chrome_trace(
+        command_logs=[ch.command_log for ch in system.channels],
+        timings=system.config.timings,
+        banks_per_channel=system.config.mapping.banks_per_channel,
+        drops=drops,
+        timeline=timeline,
+    )
+
+
+def write_chrome_trace(document: dict, path: str | os.PathLike) -> int:
+    """Write a trace-event document; returns the number of events."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return len(document["traceEvents"])

@@ -1,0 +1,95 @@
+"""The telemetry hub: named counters, gauges, and the window recorder.
+
+Telemetry is *strictly opt-in*. Components receive :data:`NULL_HUB` by
+default — a singleton whose methods are no-ops — so the simulator's hot
+path pays nothing when observability is off. Passing a real
+:class:`MetricsHub` to :class:`~repro.sim.system.GPUSystem` (or
+``simulate(..., telemetry=hub)``) turns on:
+
+* named **counters** (monotonic, e.g. ``"mc0.ams.drops"``) and
+  **gauges** (last-value, e.g. ``"mc0.dms.x"``) that instrumented
+  components update at low-frequency points (window ticks, drops);
+* the :class:`~repro.telemetry.sampler.WindowSeries` recorder, which
+  probes the engine, controllers, DMS/AMS units, value predictor, and
+  L2 slices every ``window_cycles`` and builds the
+  :class:`~repro.telemetry.series.Timeline` attached to the report.
+
+Every probe is **read-only**: a telemetry-on run produces a
+``SimReport`` whose simulation fields are identical to the same run
+with telemetry off (enforced by ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.series import Timeline
+
+#: Default window, matching the paper's 4096-cycle profiling interval.
+DEFAULT_WINDOW_CYCLES = 4096
+
+
+class MetricsHub:
+    """Named counters/gauges plus the per-window timeline of one run."""
+
+    #: Real hubs record; the :class:`NullHub` advertises ``False`` so
+    #: instrumentation sites can skip string formatting entirely.
+    enabled = True
+
+    def __init__(self, *, window_cycles: int = DEFAULT_WINDOW_CYCLES) -> None:
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        self.window_cycles = window_cycles
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        #: Filled in by the window recorder at the end of the run.
+        self.timeline: Optional[Timeline] = None
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observed value."""
+        self.gauges[name] = value
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (zero when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """All counters and gauges, sorted by name (for logs/tests)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+
+class NullHub:
+    """Disabled telemetry: every operation is a no-op.
+
+    Shares the :class:`MetricsHub` interface so instrumented code never
+    branches on ``hub is None``; the ``enabled`` flag lets rare-but-not-
+    free sites (e.g. per-window gauge formatting) skip work entirely.
+    """
+
+    enabled = False
+    window_cycles = 0
+    timeline = None
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}}
+
+
+#: The shared disabled hub handed to every component by default.
+NULL_HUB = NullHub()

@@ -45,10 +45,12 @@ def _ensure_loaded() -> None:
         srad,
     )
 
+    from repro.workloads import synthetic
+
     for module in (
         atax, bicg, blackscholes, cons, conv3d, fwt, gemm, inversek2j,
         jmein, laplacian, lps, meanfilter, mm2, mm3, mvt, newtonraph,
-        ray, scp, sla, srad,
+        ray, scp, sla, srad, synthetic,
     ):
         for obj in vars(module).values():
             if (

@@ -1,12 +1,38 @@
-"""Tier-1 test isolation.
+"""Tier-1 test isolation and golden-fixture regeneration.
 
 The tier-1 suite must exercise the simulator, not replay persisted
 results: a stale ``.repro-cache/`` from an older build could otherwise
 mask regressions. The persistent result cache is therefore disabled for
 every test; cache-specific tests opt back in with
 ``ResultCache(tmp_path, enabled=True)``.
+
+Golden fixtures (``tests/golden/``) are regenerated — instead of
+asserted — by running::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trace.py --regen-golden
+
+Inspect the diff of the regenerated JSON before committing it: every
+changed value is a deliberate behaviour change you are signing off on.
 """
 
 import os
 
+import pytest
+
 os.environ["REPRO_NO_CACHE"] = "1"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-trace fixtures from the current "
+        "simulator instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    """Whether this run should rewrite golden fixtures."""
+    return request.config.getoption("--regen-golden")

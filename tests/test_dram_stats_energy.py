@@ -49,6 +49,55 @@ class TestBusUtilizationTracker:
         )
         assert total == pytest.approx(bus.total_busy)
 
+    def test_busy_in_is_pure(self) -> None:
+        bus = BusUtilizationTracker()
+        bus.add(0, 4)
+        bus.add(6, 10)
+        bus.add(20, 30)
+        # Repeated, overlapping, and out-of-order windows all work and
+        # return identical answers: no cursor, no consumption.
+        assert bus.busy_in(0, 8) == pytest.approx(6)
+        assert bus.busy_in(0, 8) == pytest.approx(6)
+        assert bus.busy_in(25, 100) == pytest.approx(5)
+        assert bus.busy_in(0, 8) == pytest.approx(6)
+        assert bus.busy_in(0, 100) == pytest.approx(18)
+        assert bus.busy_in(4, 6) == 0.0
+        assert bus.busy_in(8, 8) == 0.0
+
+    def test_busy_in_clips_partial_overlaps(self) -> None:
+        bus = BusUtilizationTracker()
+        bus.add(10, 20)
+        assert bus.busy_in(0, 15) == pytest.approx(5)
+        assert bus.busy_in(15, 18) == pytest.approx(3)
+        assert bus.busy_in(18, 50) == pytest.approx(2)
+        assert bus.busy_in(0, 10) == 0.0
+        assert bus.busy_in(20, 30) == 0.0
+
+    def test_busy_in_does_not_disturb_profiling_cursor(self) -> None:
+        # The Dyn-DMS profiler consumes windows via
+        # busy_since_last_query; a telemetry reader interleaving pure
+        # busy_in calls must not shift what the profiler sees.
+        plain = BusUtilizationTracker()
+        probed = BusUtilizationTracker()
+        for bus in (plain, probed):
+            for i in range(8):
+                bus.add(i * 10, i * 10 + 6)
+        consumed_plain, consumed_probed = [], []
+        for t in (15, 40, 41, 100):
+            consumed_plain.append(plain.busy_since_last_query(t))
+            probed.busy_in(0, 1000)
+            probed.busy_in(t - 10, t)
+            consumed_probed.append(probed.busy_since_last_query(t))
+            probed.busy_in(0, t)
+        assert consumed_probed == consumed_plain
+
+    def test_last_end_tracks_latest_interval(self) -> None:
+        bus = BusUtilizationTracker()
+        assert bus.last_end == 0.0
+        bus.add(0, 4)
+        bus.add(10, 14)
+        assert bus.last_end == 14.0
+
 
 class TestChannelStats:
     def test_avg_rbl_zero_when_idle(self) -> None:

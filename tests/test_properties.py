@@ -21,6 +21,7 @@ from repro.config import (
 )
 from repro.dram import TimingChecker
 from repro.sim.system import GPUSystem
+from repro.telemetry import MetricsHub
 from repro.workloads.layout import AddressSpace
 from repro.workloads.traces import row_visit_streams
 
@@ -143,6 +144,96 @@ def test_full_system_invariants(
     # Energy accounting is consistent with the counters.
     expected_row = report.activations * system.config.energy.e_act_nj
     assert report.row_energy_nj == pytest.approx(expected_row)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    scheduler=scheduler_strategy,
+    n_warps=st.sampled_from([4, 16]),
+    lines_per_visit=st.integers(min_value=1, max_value=4),
+    window_cycles=st.sampled_from([256, 512, 1024]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_telemetry_window_invariants(
+    scheduler, n_warps, lines_per_visit, window_cycles, seed,
+) -> None:
+    """Per-window telemetry is consistent with the aggregate report.
+
+    The windowed series must tile the run (contiguous, ordered windows),
+    its busy cycles must sum *exactly* to the channels' aggregate bus
+    occupancy, and every recorded mechanism trajectory must stay inside
+    the paper's bounds: Dyn-DMS X in [0, 2048] in multiples of 128,
+    Dyn-AMS Th_RBL in [1, 8], cumulative coverage within the 10% cap.
+    """
+    hub = MetricsHub(window_cycles=window_cycles)
+    system = GPUSystem(scheduler=scheduler, telemetry=hub)
+    streams = build_streams(
+        n_warps=n_warps,
+        lines_per_visit=lines_per_visit,
+        visits=1,
+        skew=0.0,
+        approximable=True,
+        write_component=False,
+        seed=seed,
+        config=system.config,
+    )
+    report = system.run(streams, workload_name="prop-telemetry")
+    timeline = report.timeline
+    assert timeline is not None and len(timeline) > 0
+    n_channels = len(system.channels)
+
+    # Windows tile the run: ordered indices, contiguous spans, and the
+    # last window covers the end of the simulation.
+    prev_end = 0.0
+    for i, sample in enumerate(timeline):
+        assert sample.index == i
+        assert sample.start == prev_end
+        assert sample.end > sample.start
+        prev_end = sample.end
+    assert prev_end >= report.elapsed_mem_cycles
+
+    # Busy-cycle conservation: per-window busy sums to the aggregate
+    # bus occupancy (windowing only re-associates the float additions,
+    # so the tolerance covers rounding alone), and hence to
+    # report.bwutil scaled back up.
+    total_busy = sum(ch.stats.bus.total_busy for ch in system.channels)
+    assert sum(s.busy_cycles for s in timeline) == pytest.approx(
+        total_busy, abs=1e-6
+    )
+    assert report.bwutil == pytest.approx(
+        total_busy / (report.elapsed_mem_cycles * n_channels)
+    )
+
+    # Windowed counter deltas sum back to the aggregate counters.
+    assert sum(s.activations for s in timeline) == report.activations
+    assert sum(s.drops for s in timeline) == report.requests_dropped
+    assert (
+        sum(s.requests_served for s in timeline) == report.requests_served
+    )
+
+    for sample in timeline:
+        assert len(sample.dms_x) == n_channels
+        assert len(sample.th_rbl) == n_channels
+        for x in sample.dms_x:
+            assert 0 <= x <= 2048
+            assert x % 128 == 0
+        for th in sample.th_rbl:
+            assert 1 <= th <= 8
+        assert 0.0 <= sample.bwutil <= 1.0 + 1e-9
+        if scheduler.ams.mode is not AMSMode.OFF:
+            assert (
+                sample.coverage <= scheduler.ams.coverage_limit + 1e-9
+            )
+        else:
+            assert sample.coverage == 0.0
+
+    # Final-window trajectory values match the report's final state.
+    assert timeline.samples[-1].dms_x == list(report.final_dms_delays)
+    assert timeline.samples[-1].th_rbl == list(report.final_th_rbls)
 
 
 def test_determinism_across_identical_runs() -> None:

@@ -209,8 +209,10 @@ class TestRowVisitStreams:
 class TestRegistryAndKernels:
     def test_all_twenty_apps_registered(self) -> None:
         names = list_workloads()
-        assert len(names) == 20
-        assert set(names) == set(TABLE_II)
+        assert len(TABLE_II) == 20
+        # The 20 Table II applications plus the dial-a-characteristic
+        # synthetic workload (usable from `repro-harness trace`).
+        assert set(names) == set(TABLE_II) | {"synthetic"}
 
     def test_unknown_app_rejected(self) -> None:
         with pytest.raises(WorkloadError):
