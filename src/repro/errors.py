@@ -34,3 +34,43 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state (e.g. deadlock)."""
+
+
+class HarnessError(ReproError):
+    """Base class for experiment-harness (runner/pool/cache) failures."""
+
+
+class CellTimeoutError(HarnessError):
+    """A matrix cell exceeded its per-cell wall-clock timeout.
+
+    Raised (and recorded in :class:`repro.harness.faults.CellFailure`
+    manifests) by the supervised pool; the hung worker process is killed
+    and the pool rebuilt before the cell is retried or quarantined.
+    """
+
+
+class WorkerCrashError(HarnessError):
+    """A pool worker process died while simulating a matrix cell.
+
+    Covers hard crashes (``os._exit``, segfault, OOM-kill) that surface
+    as ``BrokenProcessPool``: every in-flight cell is charged one attempt
+    — the executor cannot say which task killed the worker — and the
+    pool is rebuilt.
+    """
+
+
+class CellFailedError(HarnessError):
+    """One or more matrix cells failed after exhausting their retries.
+
+    ``failures`` carries the structured
+    :class:`repro.harness.faults.CellFailure` records (exception type,
+    traceback, attempt count, elapsed time) for every quarantined cell.
+    Raised by :meth:`repro.harness.runner.Runner.run_matrix` when
+    ``keep_going`` is off, and by
+    :class:`~repro.harness.runner.MatrixResult` when a caller touches a
+    cell that was quarantined under ``keep_going``.
+    """
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)

@@ -130,28 +130,64 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt blobs discarded by :meth:`load` (self-healing events).
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         """Blob path for a cache key (two-level fan-out by key prefix)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def _discard_corrupt(self, path: Path) -> None:
+        """Unlink a malformed blob so it cannot poison future runs.
+
+        A corrupt entry (torn write survived a crash, disk error, or an
+        injected ``corrupt`` fault) would otherwise turn *every*
+        subsequent run of its cell into a hard failure; deleting it
+        converts the damage into one extra simulation.
+        """
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.quarantined += 1
+        self.misses += 1
+
     def load(self, key: str) -> Optional[SimReport]:
-        """Return the cached report for ``key``, or None on a miss."""
+        """Return the cached report for ``key``, or None on a miss.
+
+        Malformed blobs self-heal: undecodable JSON, non-dict documents,
+        a missing ``report`` section, or payloads
+        :meth:`SimReport.from_dict` rejects are unlinked and counted in
+        :attr:`quarantined`, then reported as a plain miss. A
+        format-version mismatch is a miss but is *kept* on disk — the
+        blob is healthy, just written by a different build.
+        """
         if not self.enabled:
             return None
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 blob = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._discard_corrupt(path)
+            return None
+        if not isinstance(blob, dict):
+            self._discard_corrupt(path)
             return None
         if blob.get("format_version") != CACHE_FORMAT_VERSION:
             self.misses += 1
             return None
+        try:
+            report = SimReport.from_dict(blob["report"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._discard_corrupt(path)
+            return None
         self.hits += 1
-        return SimReport.from_dict(blob["report"])
+        return report
 
     def store(self, key: str, report: SimReport) -> Optional[Path]:
         """Persist ``report`` under ``key``; returns the blob path.
@@ -187,14 +223,41 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
-        """All blob paths currently in the cache."""
-        if not self.root.is_dir():
+        """All blob paths currently in the cache.
+
+        Tolerates another process mutating the cache concurrently (e.g.
+        ``repro-harness cache clear`` mid-sweep): shard directories or
+        blobs vanishing between listing steps are simply skipped, as are
+        in-flight ``.tmp-*`` files from concurrent writers.
+        """
+        found: list[Path] = []
+        try:
+            shards = list(self.root.iterdir())
+        except OSError:
             return []
-        return sorted(self.root.glob("*/*.json"))
+        for shard in shards:
+            try:
+                found.extend(
+                    p for p in shard.iterdir()
+                    if p.suffix == ".json" and not p.name.startswith(".")
+                )
+            except (NotADirectoryError, OSError):
+                continue
+        return sorted(found)
 
     def size_bytes(self) -> int:
-        """Total bytes occupied by cached blobs."""
-        return sum(p.stat().st_size for p in self.entries())
+        """Total bytes occupied by cached blobs.
+
+        Blobs deleted between listing and ``stat`` (concurrent clear)
+        count as zero instead of raising ``FileNotFoundError``.
+        """
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def clear(self) -> int:
         """Delete every cached blob; returns the number removed."""

@@ -14,13 +14,24 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.errors import CellFailedError
 from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS
+from repro.harness.faults import FaultPlan, failure_manifest
 from repro.harness.runner import Runner
 from repro.harness.schemes import WINDOW_CYCLES, evaluation_schemes
+
+#: Exit codes of the main experiment command (documented in README):
+#: every requested cell produced a report.
+EXIT_OK = 0
+#: ``--keep-going`` salvaged a partial run; the manifest lists the rest.
+EXIT_PARTIAL = 3
+#: a cell failed all its attempts and ``--keep-going`` was off.
+EXIT_FAILED = 4
 
 
 def _cache_main(argv: list[str]) -> int:
@@ -185,35 +196,117 @@ def main(argv: list[str] | None = None) -> int:
         help="bypass the persistent result cache (same as REPRO_NO_CACHE=1)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for a failing matrix cell (default 1)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any matrix cell exceeding this wall-clock time per "
+        "attempt (forces the supervised pool even with --jobs 1)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="quarantine failing cells and finish the sweep with the "
+        f"healthy ones (exit code {EXIT_PARTIAL} on partial results)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. 'crash@0;hang@1:30' "
+        "(default: $REPRO_CHAOS); for testing the recovery paths",
+    )
+    parser.add_argument(
+        "--failures-out",
+        default=None,
+        metavar="PATH",
+        help="write the structured failure manifest (JSON) here when any "
+        "cell is quarantined",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress"
     )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be positive")
+    try:
+        faults = (
+            FaultPlan.parse(args.chaos) if args.chaos
+            else FaultPlan.from_env()
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     runner = Runner(
         scale=args.scale,
         seed=args.seed,
         verbose=not args.quiet,
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        keep_going=args.keep_going,
+        faults=faults,
     )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
+    exit_code = EXIT_OK
     for name in names:
         fn = EXPERIMENTS[name]
-        if args.apps:
-            apps = tuple(a.strip() for a in args.apps.split(","))
-            try:
-                result = fn(runner, apps)
-            except TypeError:
-                result = fn(runner)  # experiment with fixed app set
-        else:
-            result = fn(runner)
+        try:
+            if args.apps:
+                apps = tuple(a.strip() for a in args.apps.split(","))
+                try:
+                    result = fn(runner, apps)
+                except TypeError:
+                    result = fn(runner)  # experiment with fixed app set
+            else:
+                result = fn(runner)
+        except CellFailedError as exc:
+            if not args.keep_going:
+                _emit_failures(
+                    runner.failures or exc.failures, args.failures_out
+                )
+                return EXIT_FAILED
+            print(
+                f"[partial] {name} incomplete: {exc}",
+                file=sys.stderr,
+            )
+            exit_code = EXIT_PARTIAL
+            continue
         print(result.text)
         print()
-    return 0
+    if runner.failures:
+        _emit_failures(runner.failures, args.failures_out)
+        exit_code = EXIT_PARTIAL if args.keep_going else EXIT_FAILED
+    return exit_code
+
+
+def _emit_failures(failures, out_path: str | None) -> None:
+    """Report quarantined cells: summary to stderr, manifest to disk."""
+    manifest = failure_manifest(list(failures))
+    print(
+        f"{manifest['failed_cells']} cell(s) failed after retries:",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        print(f"  {failure.summary()}", file=sys.stderr)
+    if out_path:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        print(f"failure manifest written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,7 +56,10 @@ def _queue_config(base: Optional[GPUConfig], size: int) -> GPUConfig:
 
 def _sub_runner(runner: Runner, config: GPUConfig) -> Runner:
     """A runner with a different GPU config inheriting the parent's
-    parallelism and cache layers (content keys disambiguate configs)."""
+    parallelism, cache, and fault-tolerance layers (content keys
+    disambiguate configs). ``failures`` and ``metrics`` are shared *by
+    reference* so quarantined cells and retry counters from sub-sweeps
+    surface in the parent's manifest (and the CLI's exit code)."""
     return Runner(
         scale=runner.scale,
         seed=runner.seed,
@@ -64,6 +67,13 @@ def _sub_runner(runner: Runner, config: GPUConfig) -> Runner:
         verbose=runner.verbose,
         jobs=runner.jobs,
         cache=runner.cache,
+        retries=runner.retries,
+        retry_backoff=runner.retry_backoff,
+        cell_timeout=runner.cell_timeout,
+        keep_going=runner.keep_going,
+        faults=runner.faults,
+        metrics=runner.metrics,
+        failures=runner.failures,
     )
 
 

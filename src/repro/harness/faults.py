@@ -1,0 +1,258 @@
+"""Deterministic chaos injection and structured failure records.
+
+Every recovery path of the supervised runner — retry after a worker
+exception, pool rebuild after a worker death, kill-and-retry after a
+hang, cache self-healing after a corrupt blob — is exercised by
+*injected* faults rather than trusted.  A :class:`FaultPlan` describes
+exactly which matrix cells misbehave, on which attempts, and how:
+
+============  =====================================================
+kind          effect at the injection point
+============  =====================================================
+``crash``     raise :class:`ChaosCrash` inside ``_simulate_cell``
+``exit``      ``os._exit(17)`` in a pool worker (kills the process,
+              breaking the pool); raises
+              :class:`~repro.errors.WorkerCrashError` when the cell
+              runs in-process, where exiting would kill the harness
+``hang``      ``time.sleep(seconds)`` before simulating (exceeds the
+              per-cell timeout)
+``corrupt``   garble the cache blob just written for the cell, so a
+              later warm run must self-heal
+============  =====================================================
+
+Plans are deterministic by construction: a fault names a *cell ordinal*
+(the position of the cell among the cache-missing, content-deduplicated
+cells of one ``run_matrix`` call, in dispatch order — identical for
+serial and pooled execution) and fires on attempts ``1..attempts``
+(default 1), so a bounded retry always observes the same faults and
+then a clean cell.  There is no randomness anywhere.
+
+Plan syntax (``REPRO_CHAOS`` env var or ``--chaos``)::
+
+    spec  := kind '@' cell [':' seconds] ['x' attempts]
+    plan  := spec (';' spec)*
+
+Examples: ``crash@0`` (cell 0 raises once), ``hang@1:30`` (cell 1
+sleeps 30 s on its first attempt), ``exit@2x2`` (cell 2 kills its
+worker on attempts 1 and 2), ``crash@0;corrupt@1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.errors import HarnessError, WorkerCrashError
+
+#: Environment variable holding the default fault plan.
+ENV_CHAOS = "REPRO_CHAOS"
+
+#: Exit status used by ``exit`` faults; distinctive in worker post-mortems.
+CHAOS_EXIT_STATUS = 17
+
+FAULT_KINDS = ("crash", "exit", "hang", "corrupt")
+
+
+class ChaosCrash(RuntimeError):
+    """The exception raised by ``crash`` faults.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the retry
+    machinery must survive arbitrary third-party exceptions, so the
+    injected one lives outside the package hierarchy.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: ``kind`` applied to cell ``cell``.
+
+    The fault is active while ``attempt <= attempts``; ``seconds`` is
+    the sleep duration for ``hang`` faults.
+    """
+
+    kind: str
+    cell: int
+    seconds: float = 0.0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {', '.join(FAULT_KINDS)})"
+            )
+        if self.cell < 0:
+            raise ValueError(f"fault cell must be >= 0, got {self.cell}")
+        if self.attempts < 1:
+            raise ValueError(
+                f"fault attempts must be >= 1, got {self.attempts}"
+            )
+        if self.seconds < 0:
+            raise ValueError(
+                f"fault seconds must be >= 0, got {self.seconds}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind@cell[:seconds][xN]`` fragment."""
+        spec = text.strip()
+        try:
+            kind, _, rest = spec.partition("@")
+            if not rest:
+                raise ValueError("missing '@cell'")
+            attempts = 1
+            if "x" in rest:
+                rest, _, reps = rest.rpartition("x")
+                attempts = int(reps)
+            seconds = 0.0
+            if ":" in rest:
+                rest, _, secs = rest.partition(":")
+                seconds = float(secs)
+            return cls(
+                kind=kind.strip(), cell=int(rest),
+                seconds=seconds, attempts=attempts,
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad fault spec {text!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable set of :class:`FaultSpec` injections.
+
+    Picklability matters: the plan rides along with every work item into
+    pool workers so faults fire inside the worker process, exactly where
+    a real failure would.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``;``-separated plan (see module docstring)."""
+        specs = tuple(
+            FaultSpec.parse(part)
+            for part in text.replace(",", ";").split(";")
+            if part.strip()
+        )
+        return cls(specs=specs)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Plan from ``$REPRO_CHAOS``, or None when unset/empty."""
+        text = os.environ.get(ENV_CHAOS, "").strip()
+        return cls.parse(text) if text else None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------
+    def active(self, cell: int, attempt: int) -> Iterator[FaultSpec]:
+        """Faults that fire for this (cell ordinal, 1-based attempt)."""
+        for spec in self.specs:
+            if spec.cell == cell and attempt <= spec.attempts:
+                yield spec
+
+    def fire_pre_simulation(
+        self, cell: int, attempt: int, *, in_worker: bool
+    ) -> None:
+        """Apply crash/exit/hang faults at the top of ``_simulate_cell``."""
+        for spec in self.active(cell, attempt):
+            if spec.kind == "hang":
+                time.sleep(spec.seconds)
+            elif spec.kind == "crash":
+                raise ChaosCrash(
+                    f"injected crash (cell {cell}, attempt {attempt})"
+                )
+            elif spec.kind == "exit":
+                if in_worker:
+                    os._exit(CHAOS_EXIT_STATUS)
+                raise WorkerCrashError(
+                    f"injected worker exit (cell {cell}, attempt {attempt}) "
+                    "degraded to an exception: cell ran in-process"
+                )
+
+    def should_corrupt(self, cell: int) -> bool:
+        """Whether the freshly stored blob for ``cell`` must be garbled."""
+        return any(
+            spec.kind == "corrupt" and spec.cell == cell
+            for spec in self.specs
+        )
+
+
+def corrupt_blob(path: Path) -> None:
+    """Deterministically garble a cache blob in place.
+
+    The blob keeps its JSON framing and current format version but loses
+    the ``report`` payload, so a reader passes ``json.load`` and the
+    version check and fails inside ``SimReport.from_dict`` — the deepest
+    self-healing path (a version mismatch would merely be a polite miss).
+    """
+    from repro.harness.cache import CACHE_FORMAT_VERSION
+
+    path.write_text(
+        json.dumps(
+            {"format_version": CACHE_FORMAT_VERSION, "report": "chaos"}
+        ),
+        encoding="utf-8",
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured failure records
+# ----------------------------------------------------------------------
+@dataclass
+class CellFailure:
+    """Post-mortem of one quarantined matrix cell.
+
+    Everything needed to diagnose the failure without re-running it:
+    identity (app/label/content key), the final error's type, message
+    and traceback, how many attempts were made, and the wall-clock time
+    burned across all of them.
+    """
+
+    app: str
+    label: str
+    key: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the failure manifest."""
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        """One-line description for logs and exception messages."""
+        return (
+            f"{self.app}/{self.label}: {self.error_type}: {self.message} "
+            f"({self.attempts} attempt(s), {self.elapsed:.1f}s)"
+        )
+
+
+def failure_manifest(failures: list[CellFailure]) -> dict:
+    """The structured manifest serialized by the CLI (``--failures-out``)."""
+    return {
+        "failed_cells": len(failures),
+        "failures": [f.to_dict() for f in failures],
+    }
+
+
+__all__ = [
+    "CHAOS_EXIT_STATUS",
+    "CellFailure",
+    "ChaosCrash",
+    "ENV_CHAOS",
+    "FaultPlan",
+    "FaultSpec",
+    "HarnessError",
+    "corrupt_blob",
+    "failure_manifest",
+]

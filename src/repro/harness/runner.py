@@ -1,4 +1,5 @@
-"""Experiment runner: simulate (workload x scheme) matrices fast.
+"""Experiment runner: simulate (workload x scheme) matrices fast — and
+survive partial failure while doing it.
 
 Three layers keep repeated figure reproductions cheap:
 
@@ -16,23 +17,65 @@ Three layers keep repeated figure reproductions cheap:
    deduplicated by content key before dispatch, and every cell (serial
    or parallel) resets the global request-id counter first, so serial,
    parallel, and cached runs produce field-identical reports.
+
+On top of those sits the **fault-tolerance layer** (DESIGN goal: a
+single crashed or hung worker must not throw away a whole sweep):
+
+* every cell gets up to ``1 + retries`` attempts, retried after a
+  deterministic (jitter-free) exponential backoff of
+  ``retry_backoff * 2**(attempt-1)`` seconds;
+* ``cell_timeout`` bounds each attempt's wall-clock time — an expired
+  cell's worker is killed, the pool rebuilt, and innocent in-flight
+  cells are resubmitted *without* being charged an attempt;
+* a dead worker (``BrokenProcessPool``) triggers an automatic pool
+  rebuild; every in-flight cell is charged one
+  :class:`~repro.errors.WorkerCrashError` attempt (the executor cannot
+  attribute the crash) and retried;
+* cells that exhaust their retries are quarantined into structured
+  :class:`~repro.harness.faults.CellFailure` records. With
+  ``keep_going`` the matrix still returns every healthy cell (a
+  :class:`MatrixResult` carrying the failure manifest); without it the
+  run raises :class:`~repro.errors.CellFailedError` at the end of the
+  sweep;
+* the whole layer is exercised by deterministic fault injection
+  (:class:`~repro.harness.faults.FaultPlan`, ``REPRO_CHAOS``) threaded
+  through :func:`_simulate_cell` into the worker processes, and audited
+  by :class:`~repro.telemetry.hub.MetricsHub` counters
+  (``harness.retries``, ``harness.timeouts``, ``harness.pool_rebuilds``,
+  ``harness.cells.quarantined``, ...).
 """
 
 from __future__ import annotations
 
 import sys
 import time
+import traceback as traceback_mod
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Deque, Iterable, Optional
 
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
 from repro.dram.request import reset_request_ids
+from repro.errors import CellFailedError, CellTimeoutError, WorkerCrashError
 from repro.harness.cache import ResultCache, cache_key
+from repro.harness.faults import CellFailure, FaultPlan, corrupt_blob
 from repro.sim.report import SimReport
 from repro.sim.system import GPUSystem, simulate
-from repro.telemetry.hub import DEFAULT_WINDOW_CYCLES, MetricsHub
+from repro.telemetry.hub import (
+    DEFAULT_WINDOW_CYCLES,
+    HARNESS_CHAOS_CORRUPTED,
+    HARNESS_FAILED_ATTEMPTS,
+    HARNESS_POOL_REBUILDS,
+    HARNESS_QUARANTINED,
+    HARNESS_RETRIES,
+    HARNESS_SIMULATED,
+    HARNESS_TIMEOUTS,
+    HARNESS_WORKER_CRASHES,
+    MetricsHub,
+)
 from repro.workloads.registry import get_workload
 
 
@@ -60,14 +103,28 @@ class CellSpec:
         )
 
 
-def _simulate_cell(spec: CellSpec) -> tuple[SimReport, float]:
+def _simulate_cell(
+    spec: CellSpec,
+    *,
+    faults: Optional[FaultPlan] = None,
+    cell_index: Optional[int] = None,
+    attempt: int = 1,
+    in_worker: bool = False,
+) -> tuple[SimReport, float]:
     """Simulate one cell from scratch; returns (report, elapsed seconds).
 
     Runs identically in the parent process and in pool workers: the
     global request-id counter is re-seeded so request/drop ids — and
     therefore the full report — depend only on the cell itself, not on
     what simulated before it in the same process.
+
+    When a :class:`FaultPlan` is threaded through (chaos testing), its
+    crash/exit/hang faults fire here — before any simulation state is
+    touched — so an injected failure is indistinguishable from a real
+    one to the supervising runner.
     """
+    if faults is not None and cell_index is not None:
+        faults.fire_pre_simulation(cell_index, attempt, in_worker=in_worker)
     reset_request_ids()
     workload = get_workload(spec.app, scale=spec.scale, seed=spec.seed)
     start = time.perf_counter()
@@ -81,21 +138,111 @@ def _simulate_cell(spec: CellSpec) -> tuple[SimReport, float]:
 
 
 def _simulate_cell_worker(
-    item: tuple[str, CellSpec]
+    item: tuple[str, CellSpec, Optional[FaultPlan], Optional[int], int]
 ) -> tuple[str, SimReport, float]:
     """Pool entry point: tags the result with its cache key."""
-    key, spec = item
-    report, elapsed = _simulate_cell(spec)
+    key, spec, faults, index, attempt = item
+    report, elapsed = _simulate_cell(
+        spec,
+        faults=faults,
+        cell_index=index,
+        attempt=attempt,
+        in_worker=True,
+    )
     return key, report, elapsed
 
 
 @dataclass
+class _CellTask:
+    """Mutable supervision state of one deduplicated matrix cell."""
+
+    key: str
+    spec: CellSpec
+    label: str
+    index: int
+    #: Completed (failed) attempts so far; the next attempt is +1.
+    attempts: int = 0
+    #: Monotonic time before which the task must not be (re)dispatched.
+    next_ready: float = 0.0
+    #: Wall-clock seconds burned across all failed attempts.
+    elapsed: float = 0.0
+    last_error: Optional[BaseException] = None
+    last_traceback: str = ""
+
+    def record_error(self, exc: BaseException, elapsed: float) -> None:
+        self.attempts += 1
+        self.elapsed += elapsed
+        self.last_error = exc
+        self.last_traceback = "".join(
+            traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+        )
+
+    def to_failure(self) -> CellFailure:
+        exc = self.last_error
+        return CellFailure(
+            app=self.spec.app,
+            label=self.label,
+            key=self.key,
+            error_type=type(exc).__name__ if exc is not None else "Unknown",
+            message=str(exc) if exc is not None else "",
+            traceback=self.last_traceback,
+            attempts=self.attempts,
+            elapsed=self.elapsed,
+        )
+
+
+class MatrixResult(dict):
+    """``run_matrix`` result: a cell->report mapping plus failures.
+
+    Behaves exactly like the plain dict it used to be for healthy
+    matrices. Under ``keep_going`` quarantined cells are *absent* from
+    the mapping and described in :attr:`failures`; indexing a failed
+    cell raises :class:`~repro.errors.CellFailedError` (so experiment
+    code fails loudly and specifically, not with a bare ``KeyError``),
+    while ``.get()`` still returns ``None`` for callers that probe.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Quarantined cells of this call, in dispatch order.
+        self.failures: list[CellFailure] = []
+        #: (app, label) -> CellFailure for every missing cell.
+        self.failed_cells: dict[tuple[str, str], CellFailure] = {}
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested cell produced a report."""
+        return not self.failures
+
+    def __missing__(self, cell):
+        failure = self.failed_cells.get(cell)
+        if failure is not None:
+            raise CellFailedError(
+                f"matrix cell {cell} was quarantined: {failure.summary()}",
+                failures=[failure],
+            )
+        raise KeyError(cell)
+
+
+@dataclass
 class Runner:
-    """Runs simulations with memoization, disk caching, and parallelism.
+    """Runs simulations with memoization, disk caching, parallelism, and
+    supervised fault tolerance.
 
     ``jobs`` controls matrix fan-out (1 = serial in-process; N > 1 uses a
     process pool of N workers). ``cache=None`` disables the persistent
     disk layer; the default honours ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``.
+
+    Fault-tolerance knobs (see the module docstring):
+
+    * ``retries`` — extra attempts per failing cell (total ``1+retries``);
+    * ``retry_backoff`` — base of the deterministic exponential backoff;
+    * ``cell_timeout`` — per-attempt wall-clock bound in seconds.
+      Setting it forces matrix cells through the supervised pool even at
+      ``jobs=1`` (an in-process cell cannot be preempted);
+    * ``keep_going`` — return partial :class:`MatrixResult` instead of
+      raising :class:`~repro.errors.CellFailedError`;
+    * ``faults`` — chaos plan (defaults to ``$REPRO_CHAOS``).
     """
 
     scale: float = 1.0
@@ -104,8 +251,17 @@ class Runner:
     verbose: bool = True
     jobs: int = 1
     cache: Optional[ResultCache] = field(default_factory=ResultCache)
+    retries: int = 1
+    retry_backoff: float = 0.05
+    cell_timeout: Optional[float] = None
+    keep_going: bool = False
+    faults: Optional[FaultPlan] = field(default_factory=FaultPlan.from_env)
+    metrics: MetricsHub = field(default_factory=MetricsHub)
     #: Cells simulated (not served from memo/disk) over this runner's life.
     simulations_run: int = 0
+    #: Every quarantined cell over this runner's life (the manifest the
+    #: CLI serializes). Sub-runners share the parent's list.
+    failures: list[CellFailure] = field(default_factory=list)
     _memo: dict[str, SimReport] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -128,9 +284,11 @@ class Runner:
     def _finish(
         self, key: str, spec: CellSpec, label: str,
         report: SimReport, elapsed: float,
+        chaos_index: Optional[int] = None,
     ) -> SimReport:
         """Account, log, memoize, and persist one freshly simulated cell."""
         self.simulations_run += 1
+        self.metrics.inc(HARNESS_SIMULATED)
         self._log(
             spec.app, label,
             f"{elapsed:.1f}s, acts={report.activations}, "
@@ -138,7 +296,16 @@ class Runner:
         )
         self._memo[key] = report
         if self.cache is not None:
-            self.cache.store(key, report)
+            path = self.cache.store(key, report)
+            if (
+                path is not None
+                and self.faults is not None
+                and chaos_index is not None
+                and self.faults.should_corrupt(chaos_index)
+            ):
+                corrupt_blob(path)
+                self.metrics.inc(HARNESS_CHAOS_CORRUPTED)
+                self._log(spec.app, label, "chaos: corrupted cache blob")
         return report
 
     # ------------------------------------------------------------------
@@ -216,15 +383,27 @@ class Runner:
         *,
         measure_error: bool = False,
         jobs: Optional[int] = None,
-    ) -> dict[tuple[str, str], SimReport]:
+        keep_going: Optional[bool] = None,
+    ) -> MatrixResult:
         """Simulate every (app, scheme) pair.
 
         Cells sharing a content key (e.g. a baseline reused by several
         experiments) are deduplicated before dispatch and simulated once.
         With ``jobs > 1`` the deduplicated cells run concurrently in a
-        process pool; results are identical to a serial run.
+        process pool; results are identical to a serial run — including
+        after retries, timeouts, and pool rebuilds, because every
+        attempt re-seeds the request-id counter and simulates from
+        scratch.
+
+        A cell that fails all ``1 + retries`` attempts is quarantined.
+        With ``keep_going`` (argument overrides the runner default) the
+        returned :class:`MatrixResult` carries every healthy cell plus
+        the failure manifest; otherwise the sweep still *completes* the
+        remaining cells and then raises
+        :class:`~repro.errors.CellFailedError`.
         """
         jobs = self.jobs if jobs is None else jobs
+        keep_going = self.keep_going if keep_going is None else keep_going
         cells: dict[tuple[str, str], str] = {}
         specs: dict[str, tuple[CellSpec, str]] = {}
         for app in apps:
@@ -246,27 +425,285 @@ class Runner:
                     self._memo[key] = cached
                     continue
             todo[key] = (spec, label)
+        failures: list[CellFailure] = []
         if todo:
-            if jobs > 1 and len(todo) > 1:
-                self._run_pool(todo, jobs)
+            tasks = [
+                _CellTask(key=key, spec=spec, label=label, index=i)
+                for i, (key, (spec, label)) in enumerate(todo.items())
+            ]
+            use_pool = (
+                (jobs > 1 and len(tasks) > 1)
+                or self.cell_timeout is not None
+            )
+            if use_pool:
+                failures = self._run_supervised(tasks, max(jobs, 1))
             else:
-                for key, (spec, label) in todo.items():
-                    report, elapsed = _simulate_cell(spec)
-                    self._finish(key, spec, label, report, elapsed)
-        return {cell: self._memo[key] for cell, key in cells.items()}
+                failures = self._run_serial(tasks)
+            self.failures.extend(failures)
+        result = MatrixResult()
+        result.failures = failures
+        failed_by_key = {f.key: f for f in failures}
+        for cell, key in cells.items():
+            if key in self._memo:
+                result[cell] = self._memo[key]
+            elif key in failed_by_key:
+                result.failed_cells[cell] = failed_by_key[key]
+        if failures and not keep_going:
+            raise CellFailedError(
+                f"{len(failures)} matrix cell(s) failed after retries: "
+                + "; ".join(f.summary() for f in failures),
+                failures=failures,
+            )
+        return result
 
-    def _run_pool(
-        self, todo: dict[str, tuple[CellSpec, str]], jobs: int
-    ) -> None:
-        """Fan deduplicated cells out over a process pool."""
-        items = [(key, spec) for key, (spec, _) in todo.items()]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            pending = {
-                pool.submit(_simulate_cell_worker, item) for item in items
-            }
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+    # ------------------------------------------------------------------
+    # Attempt bookkeeping shared by the serial and pooled paths
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, task: _CellTask) -> float:
+        """Deterministic exponential backoff — no jitter, by design:
+        reproducibility of a chaos run matters more here than the
+        thundering-herd protection jitter buys on shared services."""
+        return self.retry_backoff * (2.0 ** (task.attempts - 1))
+
+    def _charge_attempt(
+        self,
+        task: _CellTask,
+        exc: BaseException,
+        elapsed: float,
+        failures: list[CellFailure],
+    ) -> bool:
+        """Record a failed attempt; returns True when the cell should be
+        retried (False = quarantined into ``failures``)."""
+        task.record_error(exc, elapsed)
+        self.metrics.inc(HARNESS_FAILED_ATTEMPTS)
+        if isinstance(exc, CellTimeoutError):
+            self.metrics.inc(HARNESS_TIMEOUTS)
+        if isinstance(exc, WorkerCrashError):
+            self.metrics.inc(HARNESS_WORKER_CRASHES)
+        if task.attempts > self.retries:
+            failure = task.to_failure()
+            failures.append(failure)
+            self.metrics.inc(HARNESS_QUARANTINED)
+            self._log(
+                task.spec.app, task.label,
+                f"quarantined: {failure.error_type}: {failure.message}",
+            )
+            return False
+        self.metrics.inc(HARNESS_RETRIES)
+        self._log(
+            task.spec.app, task.label,
+            f"attempt {task.attempts} failed ({type(exc).__name__}: {exc}); "
+            f"retrying in {self._backoff_delay(task):.2f}s",
+        )
+        return True
+
+    def _run_serial(self, tasks: list[_CellTask]) -> list[CellFailure]:
+        """In-process execution with retries (no preemption, no timeout)."""
+        failures: list[CellFailure] = []
+        for task in tasks:
+            while True:
+                start = time.perf_counter()
+                try:
+                    report, elapsed = _simulate_cell(
+                        task.spec,
+                        faults=self.faults,
+                        cell_index=task.index,
+                        attempt=task.attempts + 1,
+                    )
+                except Exception as exc:
+                    wasted = time.perf_counter() - start
+                    if not self._charge_attempt(
+                        task, exc, wasted, failures
+                    ):
+                        break
+                    time.sleep(self._backoff_delay(task))
+                else:
+                    self._finish(
+                        task.key, task.spec, task.label, report, elapsed,
+                        chaos_index=task.index,
+                    )
+                    break
+        return failures
+
+    # ------------------------------------------------------------------
+    # Supervised process pool
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self, tasks: list[_CellTask], jobs: int
+    ) -> list[CellFailure]:
+        """Fan cells out over a supervised, self-healing process pool.
+
+        At most ``workers`` futures are in flight at once, so every
+        submitted future is actually *running* — which makes
+        ``submit time + cell_timeout`` an accurate kill deadline. A
+        breached deadline or a broken pool kills the worker processes,
+        rebuilds the executor, and resubmits the innocent in-flight
+        cells without charging them an attempt.
+        """
+        failures: list[CellFailure] = []
+        workers = max(1, min(jobs, len(tasks)))
+        queue: Deque[_CellTask] = deque(tasks)
+        running: dict = {}  # future -> (task, submit_time, deadline)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def submit_ready(now: float) -> None:
+            nonlocal pool
+            scanned = 0
+            while queue and len(running) < workers and scanned < len(queue):
+                task = queue.popleft()
+                if task.next_ready > now:
+                    queue.append(task)
+                    scanned += 1
+                    continue
+                try:
+                    future = pool.submit(
+                        _simulate_cell_worker,
+                        (
+                            task.key, task.spec, self.faults,
+                            task.index, task.attempts + 1,
+                        ),
+                    )
+                except BrokenProcessPool:
+                    # The pool died between iterations: the task goes
+                    # back to the front, in-flight cells are charged a
+                    # crash attempt, and the pool is rebuilt.
+                    queue.appendleft(task)
+                    for _, (victim, submitted, _) in list(running.items()):
+                        fail_attempt(
+                            victim,
+                            WorkerCrashError(
+                                "process pool broke while cell in flight"
+                            ),
+                            now - submitted,
+                        )
+                    running.clear()
+                    pool = rebuild_pool(pool)
+                    continue
+                deadline = (
+                    now + self.cell_timeout
+                    if self.cell_timeout is not None else None
+                )
+                running[future] = (task, now, deadline)
+
+        def requeue(task: _CellTask, delay: float) -> None:
+            task.next_ready = time.monotonic() + delay
+            queue.append(task)
+
+        def fail_attempt(
+            task: _CellTask, exc: BaseException, elapsed: float
+        ) -> None:
+            if self._charge_attempt(task, exc, elapsed, failures):
+                requeue(task, self._backoff_delay(task))
+
+        def rebuild_pool(current: ProcessPoolExecutor) -> ProcessPoolExecutor:
+            # Kill any worker still alive (a hung worker would otherwise
+            # survive shutdown(wait=False) indefinitely), then replace
+            # the executor wholesale.
+            for proc in list(getattr(current, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            try:
+                current.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self.metrics.inc(HARNESS_POOL_REBUILDS)
+            return ProcessPoolExecutor(max_workers=workers)
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                submit_ready(now)
+                if not running:
+                    # Nothing in flight: sleep until the earliest retry.
+                    wake = min(task.next_ready for task in queue)
+                    time.sleep(max(0.0, wake - now))
+                    continue
+                wait_for: list[float] = []
+                deadlines = [
+                    dl for (_, _, dl) in running.values() if dl is not None
+                ]
+                if deadlines:
+                    wait_for.append(min(deadlines) - now)
+                if queue and len(running) < workers:
+                    wait_for.append(
+                        min(t.next_ready for t in queue) - now
+                    )
+                timeout = max(0.0, min(wait_for)) if wait_for else None
+                done, _ = wait(
+                    set(running), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                broken = False
                 for future in done:
-                    key, report, elapsed = future.result()
-                    spec, label = todo[key]
-                    self._finish(key, spec, label, report, elapsed)
+                    task, submitted, _ = running.pop(future)
+                    try:
+                        key, report, elapsed = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        fail_attempt(
+                            task,
+                            WorkerCrashError(
+                                "worker process died while simulating "
+                                f"{task.spec.app}/{task.label}"
+                            ),
+                            now - submitted,
+                        )
+                    except Exception as exc:
+                        fail_attempt(task, exc, now - submitted)
+                    else:
+                        self._finish(
+                            key, task.spec, task.label, report, elapsed,
+                            chaos_index=task.index,
+                        )
+                if broken:
+                    # The whole pool is dead; every other in-flight cell
+                    # went down with it and is charged a crash attempt
+                    # (the executor cannot attribute the death).
+                    for future, (task, submitted, _) in running.items():
+                        fail_attempt(
+                            task,
+                            WorkerCrashError(
+                                "process pool broke while cell in flight"
+                            ),
+                            now - submitted,
+                        )
+                    running.clear()
+                    pool = rebuild_pool(pool)
+                    continue
+                if not done:
+                    expired = [
+                        (future, task, submitted)
+                        for future, (task, submitted, dl) in running.items()
+                        if dl is not None and dl <= now
+                    ]
+                    if expired:
+                        survivors = [
+                            task
+                            for future, (task, _, dl) in running.items()
+                            if not (dl is not None and dl <= now)
+                        ]
+                        for future, task, submitted in expired:
+                            fail_attempt(
+                                task,
+                                CellTimeoutError(
+                                    f"{task.spec.app}/{task.label} exceeded "
+                                    f"the {self.cell_timeout:.1f}s per-cell "
+                                    "wall-clock timeout"
+                                ),
+                                now - submitted,
+                            )
+                        # Innocent neighbours are resubmitted for free:
+                        # the kill below takes their workers down too.
+                        for task in survivors:
+                            requeue(task, 0.0)
+                        running.clear()
+                        pool = rebuild_pool(pool)
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        return failures

@@ -168,6 +168,18 @@ class PendingQueue:
         """All visible requests in FIFO order (diagnostics)."""
         return iter(self._fifo.values())
 
+    def pending_per_bank(self) -> dict[int, int]:
+        """Visible pending-request count per bank (non-empty banks only).
+
+        A diagnostics snapshot — used by the engine's livelock report —
+        not a hot-path query; it copies nothing but the counts.
+        """
+        return {
+            bank: len(bucket)
+            for bank, bucket in enumerate(self._by_bank)
+            if bucket
+        }
+
     def banks_with_pending(self) -> Iterable[int]:
         """Indices of banks with at least one visible request, ascending.
 

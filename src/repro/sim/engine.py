@@ -31,6 +31,12 @@ class Engine:
         self.now: float = 0.0
         self.events_processed = 0
         self.events_cancelled = 0
+        #: Optional callable returning extra context (e.g. per-bank
+        #: pending-request counts) appended to the ``max_events``
+        #: overflow error, so a deadlock is debuggable from the failure
+        #: manifest alone. The engine itself knows nothing about DRAM;
+        #: :class:`~repro.sim.system.GPUSystem` installs its snapshot.
+        self.diagnostics: Optional[Callable[[], str]] = None
 
     def at(self, time: float, fn: Event) -> int:
         """Schedule ``fn`` to run at absolute ``time`` (clamped to now).
@@ -118,10 +124,24 @@ class Engine:
             processed += 1
             if max_events is not None and processed >= max_events:
                 self.events_processed += processed
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; "
-                    "possible simulation livelock"
-                )
+                raise SimulationError(self._overflow_message(max_events))
         self.events_processed += processed
         if until is not None and self.now < until:
             self.now = until
+
+    def _overflow_message(self, max_events: int) -> str:
+        """Diagnostic snapshot for the ``max_events`` livelock guard."""
+        live = len(self._heap) - len(self._cancelled)
+        detail = (
+            f"exceeded max_events={max_events}; possible simulation "
+            f"livelock (cycle={self.now:.0f}, "
+            f"queued_events={len(self._heap)}, live_events={live}, "
+            f"total_processed={self.events_processed})"
+        )
+        if self.diagnostics is not None:
+            # A broken diagnostics probe must never mask the real error.
+            try:
+                detail += "; " + self.diagnostics()
+            except Exception as exc:
+                detail += f"; (diagnostics probe failed: {exc!r})"
+        return detail

@@ -90,6 +90,37 @@ class GPUSystem:
             self.config.l2.hit_latency_core
         )
         self.frontend: Optional[GPUFrontend] = None
+        self.engine.diagnostics = self._deadlock_snapshot
+
+    def _deadlock_snapshot(self) -> str:
+        """Per-controller queue state for the engine's livelock error.
+
+        Appended to the ``max_events`` overflow message so a deadlocked
+        cell in a failure manifest shows *where* requests are stuck —
+        which controller, which banks, how deep — without re-running
+        the simulation under a debugger.
+        """
+        parts = []
+        for ch, mc in enumerate(self.controllers):
+            queue = mc.queue
+            if queue.empty:
+                continue
+            per_bank = ",".join(
+                f"b{bank}:{count}"
+                for bank, count in queue.pending_per_bank().items()
+            )
+            parts.append(
+                f"mc{ch}[pending={len(queue)} "
+                f"ingress={queue.ingress_backlog} {per_bank or '-'}]"
+            )
+        unfinished = ""
+        if self.frontend is not None:
+            stuck = self.frontend.unfinished()
+            if stuck:
+                unfinished = f"; unfinished_warps={len(stuck)}"
+        return (
+            "pending per bank: " + (" ".join(parts) or "none") + unfinished
+        )
 
     # ------------------------------------------------------------------
     # Request path: SM -> crossbar -> L2 -> MC

@@ -28,6 +28,29 @@ from repro.telemetry.series import Timeline
 #: Default window, matching the paper's 4096-cycle profiling interval.
 DEFAULT_WINDOW_CYCLES = 4096
 
+# ----------------------------------------------------------------------
+# Canonical counter names of the harness fault-tolerance layer. The
+# supervised runner increments these on its own MetricsHub so a sweep's
+# health (retries, hangs, dead workers, quarantined cells) is readable
+# from one snapshot() — and assertable in the chaos tests.
+# ----------------------------------------------------------------------
+#: Cells simulated to completion (any attempt).
+HARNESS_SIMULATED = "harness.cells.simulated"
+#: Individual failed attempts, before retry/quarantine triage.
+HARNESS_FAILED_ATTEMPTS = "harness.cells.failed_attempts"
+#: Attempts that were scheduled for a retry (with backoff).
+HARNESS_RETRIES = "harness.retries"
+#: Attempts that breached the per-cell wall-clock timeout.
+HARNESS_TIMEOUTS = "harness.timeouts"
+#: Attempts lost to a dying worker process (BrokenProcessPool).
+HARNESS_WORKER_CRASHES = "harness.worker_crashes"
+#: Times the process pool was killed and rebuilt.
+HARNESS_POOL_REBUILDS = "harness.pool_rebuilds"
+#: Cells that exhausted their retries and entered the failure manifest.
+HARNESS_QUARANTINED = "harness.cells.quarantined"
+#: Cache blobs deliberately garbled by the chaos plan (tests only).
+HARNESS_CHAOS_CORRUPTED = "harness.chaos.corrupted_blobs"
+
 
 class MetricsHub:
     """Named counters/gauges plus the per-window timeline of one run."""

@@ -1,0 +1,302 @@
+"""Integration tests for the supervised, fault-tolerant runner.
+
+The invariants pinned down here (under deterministic chaos injection,
+at ``jobs=1`` and ``jobs>1``):
+
+1. **Determinism survives recovery** — a matrix that crashed, hung, or
+   lost its worker mid-run produces reports field-identical to a
+   fault-free run once retried.
+2. **keep_going salvages the sweep** — persistently failing cells are
+   quarantined into structured ``CellFailure`` records while every
+   healthy cell is returned.
+3. **The cache self-heals end-to-end** — a blob corrupted on disk costs
+   one extra simulation, never a failed run.
+4. **The CLI maps outcomes to exit codes** — 0 clean, 3 partial
+   (``--keep-going``), 4 failed — and writes the failure manifest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CellFailedError
+from repro.harness import cli
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import ExperimentResult
+from repro.harness.faults import FaultPlan
+from repro.harness.runner import MatrixResult, Runner
+from repro.harness.schemes import evaluation_schemes
+from repro.telemetry.hub import (
+    HARNESS_POOL_REBUILDS,
+    HARNESS_QUARANTINED,
+    HARNESS_RETRIES,
+    HARNESS_TIMEOUTS,
+    HARNESS_WORKER_CRASHES,
+)
+
+SCALE = 0.1
+APPS = ("SCP", "GEMM")
+#: Generous bound for injected hangs: far above a healthy cell's runtime
+#: at this scale (~0.3 s), far below the suite's patience.
+HANG_SECONDS = 30.0
+CELL_TIMEOUT = 1.5
+
+
+def _schemes() -> dict:
+    return {"Baseline": evaluation_schemes()["Baseline"]}
+
+
+def _runner(**kwargs) -> Runner:
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("verbose", False)
+    kwargs.setdefault("cache", None)
+    kwargs.setdefault("faults", None)
+    kwargs.setdefault("retry_backoff", 0.01)
+    return Runner(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def clean_reports() -> MatrixResult:
+    """Fault-free reference matrix every chaos run must reproduce."""
+    return _runner().run_matrix(APPS, _schemes())
+
+
+def _assert_identical(result, clean_reports) -> None:
+    assert set(result) == set(clean_reports)
+    for cell in clean_reports:
+        assert result[cell] == clean_reports[cell], (
+            f"report for {cell} differs from the fault-free run"
+        )
+
+
+# ----------------------------------------------------------------------
+# Recovery paths: retried results are field-identical to clean runs
+# ----------------------------------------------------------------------
+class TestRecoveryDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_crash_is_retried_transparently(self, clean_reports, jobs):
+        runner = _runner(
+            jobs=jobs, retries=1, faults=FaultPlan.parse("crash@0")
+        )
+        result = runner.run_matrix(APPS, _schemes())
+        _assert_identical(result, clean_reports)
+        assert result.ok
+        assert runner.metrics.counter(HARNESS_RETRIES) == 1
+        assert runner.metrics.counter(HARNESS_QUARANTINED) == 0
+
+    def test_dead_worker_rebuilds_the_pool(self, clean_reports):
+        # exit@0 kills the worker process outright: the pool breaks,
+        # every in-flight cell is charged a crash attempt, the pool is
+        # rebuilt, and the retries reproduce the clean reports.
+        runner = _runner(
+            jobs=2, retries=2, faults=FaultPlan.parse("exit@0")
+        )
+        result = runner.run_matrix(APPS, _schemes())
+        _assert_identical(result, clean_reports)
+        assert runner.metrics.counter(HARNESS_POOL_REBUILDS) >= 1
+        assert runner.metrics.counter(HARNESS_WORKER_CRASHES) >= 1
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_hung_cell_is_killed_and_retried(self, clean_reports, jobs):
+        # With a cell timeout set, even jobs=1 goes through the
+        # supervised pool (an in-process cell cannot be preempted).
+        runner = _runner(
+            jobs=jobs,
+            retries=1,
+            cell_timeout=CELL_TIMEOUT,
+            faults=FaultPlan.parse(f"hang@0:{HANG_SECONDS}"),
+        )
+        result = runner.run_matrix(APPS, _schemes())
+        _assert_identical(result, clean_reports)
+        assert runner.metrics.counter(HARNESS_TIMEOUTS) == 1
+
+    def test_serial_crash_then_hang_mixed_plan(self, clean_reports):
+        # Acceptance scenario: one injected crash plus one injected hang
+        # in the same matrix, completed under keep_going with every
+        # healthy cell identical to the fault-free run.
+        runner = _runner(
+            jobs=2,
+            retries=1,
+            cell_timeout=CELL_TIMEOUT,
+            keep_going=True,
+            faults=FaultPlan.parse(f"crash@0;hang@1:{HANG_SECONDS}"),
+        )
+        result = runner.run_matrix(APPS, _schemes())
+        _assert_identical(result, clean_reports)
+        assert result.ok
+        assert runner.metrics.counter(HARNESS_RETRIES) == 2
+
+
+# ----------------------------------------------------------------------
+# Quarantine and keep_going semantics
+# ----------------------------------------------------------------------
+class TestKeepGoing:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_persistent_failure_is_quarantined(self, clean_reports, jobs):
+        runner = _runner(
+            jobs=jobs, retries=1, faults=FaultPlan.parse("crash@0x9")
+        )
+        result = runner.run_matrix(APPS, _schemes(), keep_going=True)
+        # Cell 0 is SCP/Baseline (dispatch order); GEMM must survive.
+        assert ("GEMM", "Baseline") in result
+        assert ("SCP", "Baseline") not in result
+        assert result["GEMM", "Baseline"] == clean_reports[
+            "GEMM", "Baseline"
+        ]
+        assert not result.ok
+        (failure,) = result.failures
+        assert failure.app == "SCP"
+        assert failure.error_type == "ChaosCrash"
+        assert failure.attempts == 2, "1 attempt + 1 retry"
+        assert "ChaosCrash" in failure.traceback
+        assert failure.elapsed >= 0.0
+        assert runner.failures == [failure]
+
+    def test_indexing_a_failed_cell_raises_cell_failed(self):
+        runner = _runner(retries=0, faults=FaultPlan.parse("crash@0x9"))
+        result = runner.run_matrix(APPS, _schemes(), keep_going=True)
+        with pytest.raises(CellFailedError, match="quarantined"):
+            result["SCP", "Baseline"]
+        assert result.get(("SCP", "Baseline")) is None
+        with pytest.raises(KeyError):
+            result["no-such-app", "Baseline"]
+
+    def test_without_keep_going_the_sweep_raises_at_the_end(
+        self, clean_reports
+    ):
+        runner = _runner(retries=0, faults=FaultPlan.parse("crash@0x9"))
+        with pytest.raises(CellFailedError) as info:
+            runner.run_matrix(APPS, _schemes())
+        (failure,) = info.value.failures
+        assert failure.app == "SCP"
+        # The healthy cell was still simulated (and memoized) before the
+        # raise: a follow-up keep_going call serves it from memory.
+        assert runner.simulations_run == 1
+        result = runner.run_matrix(APPS, _schemes(), keep_going=True)
+        assert result["GEMM", "Baseline"] == clean_reports[
+            "GEMM", "Baseline"
+        ]
+
+    def test_timeout_quarantine_records_cell_timeout_error(self):
+        runner = _runner(
+            retries=0,
+            cell_timeout=CELL_TIMEOUT,
+            faults=FaultPlan.parse(f"hang@0:{HANG_SECONDS}x9"),
+        )
+        result = runner.run_matrix(
+            ("SCP",), _schemes(), keep_going=True
+        )
+        (failure,) = result.failures
+        assert failure.error_type == "CellTimeoutError"
+        assert "wall-clock timeout" in failure.message
+
+
+# ----------------------------------------------------------------------
+# Cache corruption end-to-end (chaos corrupt -> self-heal -> warm hit)
+# ----------------------------------------------------------------------
+class TestCorruptBlobEndToEnd:
+    def test_corrupted_store_self_heals_on_the_next_run(
+        self, clean_reports, tmp_path
+    ):
+        cell = ("SCP", "Baseline")
+        # Run 1: simulate and corrupt the stored blob via the chaos plan.
+        chaotic = _runner(
+            cache=ResultCache(tmp_path, enabled=True),
+            faults=FaultPlan.parse("corrupt@0"),
+        )
+        first = chaotic.run_matrix(("SCP",), _schemes())
+        assert first[cell] == clean_reports[cell]
+        assert chaotic.simulations_run == 1
+
+        # Run 2 (cold runner, same cache dir): the corrupt blob is
+        # quarantined, the cell re-simulated, and a healthy blob stored.
+        healing = _runner(cache=ResultCache(tmp_path, enabled=True))
+        second = healing.run_matrix(("SCP",), _schemes())
+        assert second[cell] == clean_reports[cell]
+        assert healing.simulations_run == 1, "corrupt blob => resimulate"
+        assert healing.cache.quarantined == 1
+
+        # Run 3: the healed blob now serves a warm hit.
+        warm = _runner(cache=ResultCache(tmp_path, enabled=True))
+        third = warm.run_matrix(("SCP",), _schemes())
+        assert third[cell] == clean_reports[cell]
+        assert warm.simulations_run == 0
+        assert warm.cache.hits == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: flags, exit codes, failure manifest
+# ----------------------------------------------------------------------
+def _tiny_experiment(runner: Runner, apps=APPS) -> ExperimentResult:
+    reports = runner.run_matrix(apps, _schemes())
+    # Touch every *requested* cell — like real experiments do — so a
+    # quarantined cell raises CellFailedError from the MatrixResult.
+    text = ", ".join(
+        f"{app}/Baseline={reports[app, 'Baseline'].activations}"
+        for app in apps
+    )
+    return ExperimentResult("tiny", text)
+
+
+@pytest.fixture
+def tiny_cli(monkeypatch):
+    monkeypatch.setattr(cli, "EXPERIMENTS", {"tiny": _tiny_experiment})
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    return ["tiny", "--scale", str(SCALE), "--quiet", "--no-cache"]
+
+
+class TestCliExitCodes:
+    def test_clean_run_exits_zero(self, tiny_cli, capsys):
+        assert cli.main(tiny_cli) == cli.EXIT_OK
+        assert "SCP/Baseline=" in capsys.readouterr().out
+
+    def test_recovered_chaos_still_exits_zero(self, tiny_cli):
+        code = cli.main(
+            tiny_cli + ["--chaos", "crash@0", "--retries", "1"]
+        )
+        assert code == cli.EXIT_OK
+
+    def test_unrecoverable_failure_exits_failed(self, tiny_cli, capsys):
+        code = cli.main(
+            tiny_cli + ["--chaos", "crash@0x9", "--retries", "0"]
+        )
+        assert code == cli.EXIT_FAILED
+        assert "failed after retries" in capsys.readouterr().err
+
+    def test_keep_going_exits_partial_and_writes_manifest(
+        self, tiny_cli, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "failures.json"
+        code = cli.main(
+            tiny_cli
+            + [
+                "--chaos", "crash@0x9", "--retries", "0", "--keep-going",
+                "--failures-out", str(manifest_path),
+            ]
+        )
+        assert code == cli.EXIT_PARTIAL
+        err = capsys.readouterr().err
+        assert "[partial] tiny incomplete" in err
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["failed_cells"] == 1
+        (record,) = manifest["failures"]
+        assert record["app"] == "SCP"
+        assert record["error_type"] == "ChaosCrash"
+        assert record["attempts"] == 1
+        assert record["traceback"]
+
+    def test_chaos_from_env_is_honoured(self, tiny_cli, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash@0x9")
+        code = cli.main(tiny_cli + ["--retries", "0"])
+        assert code == cli.EXIT_FAILED
+
+    def test_bad_flags_are_usage_errors(self, tiny_cli):
+        with pytest.raises(SystemExit) as info:
+            cli.main(tiny_cli + ["--chaos", "frobnicate@1"])
+        assert info.value.code == 2
+        with pytest.raises(SystemExit):
+            cli.main(tiny_cli + ["--retries", "-1"])
+        with pytest.raises(SystemExit):
+            cli.main(tiny_cli + ["--cell-timeout", "0"])
