@@ -1,0 +1,97 @@
+"""Regenerate tests/golden/seed_reports.json.
+
+The fixture pins the full ``SimReport.to_dict()`` payload of every paper
+scheme on the default (GDDR5) device, as produced by the scheduler
+implementation that was current when the fixture was last regenerated.
+``tests/test_differential_refactor.py`` asserts that the composable
+policy pipeline reproduces these payloads field-identically.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/regen_seed_reports.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config.scheduler import (
+    AMSConfig,
+    AMSMode,
+    DMSConfig,
+    DMSMode,
+    SchedulerConfig,
+)
+from repro.harness.runner import Runner
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "golden"
+OUT_PATH = OUT / "seed_reports.json"
+
+#: Fixture cell parameters — small enough to simulate each scheme in ~1 s,
+#: busy enough to exercise the dynamic profiling state machines.
+FIXTURE = {"workload": "synthetic", "scale": 0.25, "seed": 11}
+
+_WINDOW = 512
+_PHASE = 8
+_WARMUP = 16
+
+
+def scheme_set() -> dict[str, SchedulerConfig]:
+    """The pinned scheme set, keyed by registry-style scheme ids."""
+    dyn_dms = DMSConfig(
+        mode=DMSMode.DYNAMIC, window_cycles=_WINDOW, windows_per_phase=_PHASE
+    )
+    static_dms = DMSConfig(
+        mode=DMSMode.STATIC, window_cycles=_WINDOW, windows_per_phase=_PHASE
+    )
+    dyn_ams = AMSConfig(
+        mode=AMSMode.DYNAMIC, window_cycles=_WINDOW, warmup_fills=_WARMUP
+    )
+    static_ams = AMSConfig(
+        mode=AMSMode.STATIC, window_cycles=_WINDOW, warmup_fills=_WARMUP
+    )
+    return {
+        "frfcfs": SchedulerConfig(),
+        "fcfs": SchedulerConfig(arbiter="fcfs"),
+        "static-dms": SchedulerConfig(dms=static_dms),
+        "dyn-dms": SchedulerConfig(dms=dyn_dms),
+        "static-ams": SchedulerConfig(ams=static_ams),
+        "dyn-ams": SchedulerConfig(ams=dyn_ams),
+        "static-dms+static-ams": SchedulerConfig(
+            dms=static_dms, ams=static_ams
+        ),
+        "dyn-dms+dyn-ams": SchedulerConfig(dms=dyn_dms, ams=dyn_ams),
+    }
+
+
+def main() -> None:
+    runner = Runner(
+        scale=FIXTURE["scale"], seed=FIXTURE["seed"],
+        verbose=False, cache=None,
+    )
+    reports = {}
+    for scheme_id, scheme in scheme_set().items():
+        report = runner.run(
+            FIXTURE["workload"], scheme, label=scheme_id,
+            measure_error=scheme.ams.mode is not AMSMode.OFF,
+        )
+        reports[scheme_id] = report.to_dict()
+        print(
+            f"  {scheme_id}: acts={report.activations} "
+            f"ipc={report.ipc:.4f} drops={report.requests_dropped}"
+        )
+    OUT.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(
+        json.dumps(
+            {"fixture": FIXTURE, "reports": reports},
+            indent=1, sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,10 @@ __all__ = [
     "static_combo",
     "static_dms",
     "simulate",
+    "simulate_spec",
+    "SimSpec",
+    "get_device",
+    "device_names",
     "get_workload",
     "list_workloads",
 ]
@@ -53,10 +57,18 @@ __all__ = [
 def __getattr__(name: str):
     # Lazy imports keep `import repro` light and avoid import cycles while
     # the higher layers (sim, workloads) are built on top of this package.
-    if name == "simulate":
-        from repro.sim.system import simulate
+    if name in ("simulate", "simulate_spec"):
+        from repro.sim import system
 
-        return simulate
+        return getattr(system, name)
+    if name == "SimSpec":
+        from repro.sim.spec import SimSpec
+
+        return SimSpec
+    if name in ("get_device", "device_names"):
+        from repro.dram import devices
+
+        return getattr(devices, name)
     if name in ("get_workload", "list_workloads"):
         from repro.workloads import registry
 

@@ -1,0 +1,116 @@
+"""Generic dataclass <-> JSON-dict codec for configuration trees.
+
+The configuration layer is built from frozen dataclasses whose fields
+are primitives, enums, or further such dataclasses. That regularity
+makes a schema-free codec possible: :func:`encode` walks values into
+plain JSON types and :func:`decode` rebuilds them from the resolved type
+hints — no per-class ``to_dict``/``from_dict`` boilerplate, and new
+config fields serialise automatically (with dataclass defaults filling
+in anything a stored payload predates).
+
+Used by :class:`repro.sim.spec.SimSpec` and anything else that needs a
+faithful round trip of :class:`~repro.config.gpu.GPUConfig` /
+:class:`~repro.config.scheduler.SchedulerConfig` trees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any, Optional, TypeVar, Union
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+def encode(value: Any) -> Any:
+    """JSON-serialisable form of a config value (recursively)."""
+    if value is None:
+        return None
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): encode(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    raise ConfigError(
+        f"cannot encode {type(value).__name__!r} values: {value!r}"
+    )
+
+
+def _strip_optional(hint: Any) -> Any:
+    """``Optional[X]`` / ``X | None`` -> ``X``; other hints unchanged."""
+    origin = typing.get_origin(hint)
+    if origin is Union or (
+        origin is not None and origin.__module__ == "types"
+        and origin.__name__ == "UnionType"
+    ):
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return hint
+
+
+def _decode_value(hint: Any, data: Any) -> Any:
+    if data is None:
+        return None
+    hint = _strip_optional(hint)
+    if isinstance(hint, type):
+        if dataclasses.is_dataclass(hint):
+            return decode(hint, data)
+        if issubclass(hint, enum.Enum):
+            return hint(data)
+        if hint is float and isinstance(data, int):
+            return float(data)
+    origin = typing.get_origin(hint)
+    if origin in (list, tuple) and isinstance(data, list):
+        args = typing.get_args(hint)
+        item_hint = args[0] if args else Any
+        items = [_decode_value(item_hint, item) for item in data]
+        return tuple(items) if origin is tuple else items
+    return data
+
+
+def decode(cls: type[T], data: Any) -> T:
+    """Rebuild a dataclass ``cls`` from :func:`encode` output.
+
+    Unknown keys in ``data`` are rejected (they signal a payload from a
+    newer schema — silently dropping them would decode to a *different*
+    configuration than the one stored); missing keys fall back to the
+    dataclass defaults.
+    """
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise ConfigError(f"decode target must be a dataclass, got {cls!r}")
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"cannot decode {cls.__name__} from {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} field(s) in payload: "
+            + ", ".join(sorted(unknown))
+        )
+    kwargs = {
+        name: _decode_value(hints.get(name, Any), value)
+        for name, value in data.items()
+    }
+    return cls(**kwargs)
+
+
+def decode_optional(cls: type[T], data: Any) -> Optional[T]:
+    """Like :func:`decode` but maps ``None`` through."""
+    if data is None:
+        return None
+    return decode(cls, data)

@@ -121,20 +121,35 @@ class SchedulerConfig:
     dms: DMSConfig = DMSConfig()
     ams: AMSConfig = AMSConfig()
     vp: VPConfig = VPConfig()
-    #: "frfcfs" (row hits first) or "fcfs" (strict age order per bank).
+    #: Candidate-selector name from the policy registry
+    #: (:mod:`repro.sched.policies`): "frfcfs" (row hits first), "fcfs"
+    #: (strict age order per bank), or "frfcfs-cap" (FR-FCFS with a
+    #: row-hit streak cap).
     arbiter: str = "frfcfs"
     #: "open" (keep rows open) or "close" (precharge when no hits pend).
     row_policy: str = "open"
+    #: Consecutive row hits one bank may serve while an older row-miss
+    #: request waits for it (the "frfcfs-cap" selector only).
+    hit_streak_cap: int = 4
 
     def validate(self) -> None:
         """Validate all sub-configurations."""
         self.dms.validate()
         self.ams.validate()
         self.vp.validate()
-        if self.arbiter not in {"frfcfs", "fcfs"}:
-            raise ConfigError(f"unknown arbiter: {self.arbiter!r}")
+        # The arbiter names the candidate selector; consult the plugin
+        # registry (imported lazily — policies import this module).
+        from repro.sched.policies import selector_names
+
+        if self.arbiter not in selector_names():
+            raise ConfigError(
+                f"unknown arbiter: {self.arbiter!r}; "
+                f"registered: {', '.join(selector_names())}"
+            )
         if self.row_policy not in {"open", "close"}:
             raise ConfigError(f"unknown row policy: {self.row_policy!r}")
+        if self.hit_streak_cap <= 0:
+            raise ConfigError("hit_streak_cap must be positive")
 
     @property
     def name(self) -> str:

@@ -1,0 +1,224 @@
+"""Pluggable DRAM device models.
+
+A :class:`DeviceModel` bundles everything the simulator needs to know
+about one DRAM technology: command timings (in memory cycles), the
+per-operation energy model, and the memory clock. The paper evaluates a
+GDDR5 part (Table I) and projects energy onto HBM1/HBM2 (Section V);
+the presets here extend that to a small design space so the lazy
+scheduler can be swept across devices whose latency/energy trade-offs
+differ (cf. Chang et al., "Understanding Latency Variation in Modern
+DRAM Chips", on how widely timings vary across devices).
+
+The ``gddr5`` preset is *numerically identical* to the package-wide
+defaults (:class:`~repro.config.timing.DRAMTimings` /
+:class:`~repro.config.energy.DRAMEnergyParams` / 924 MHz), so selecting
+it reproduces the seed configuration bit for bit. The other presets are
+representative, not datasheet-exact: reproduced results are normalized,
+so only the ratios matter.
+
+Registry usage::
+
+    from repro.dram.devices import get_device, device_names
+
+    hbm = get_device("hbm")
+    cfg = hbm.apply(GPUConfig())          # GPUConfig on that device
+
+Third-party models register with :func:`register_device`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.config.energy import DRAMEnergyParams
+from repro.config.timing import DRAMTimings
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.config.gpu import GPUConfig
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceModel:
+    """One DRAM technology: timings + energy parameters + clock."""
+
+    name: str
+    timings: DRAMTimings
+    energy: DRAMEnergyParams
+    mem_clock_mhz: float
+    #: One-line provenance note shown by ``repro-harness table --device``.
+    description: str = ""
+
+    def validate(self) -> None:
+        """Check the whole model; raise :class:`ConfigError` on violation.
+
+        Beyond the per-component checks this enforces the cross-cutting
+        invariants the scheduler relies on: ``tRC >= tRAS + tRP`` (a row
+        cycle covers activate + restore + precharge), strictly positive
+        per-operation energies, and a positive clock.
+        """
+        if not self.name:
+            raise ConfigError("device name must be non-empty")
+        if self.mem_clock_mhz <= 0:
+            raise ConfigError(
+                f"device {self.name!r}: mem_clock_mhz must be positive"
+            )
+        self.timings.validate()
+        self.energy.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def row_cycle_ns(self) -> float:
+        """tRC in nanoseconds — the latency side of the trade-off."""
+        return self.timings.tRC / self.mem_clock_mhz * 1e3
+
+    @property
+    def activation_energy_nj(self) -> float:
+        """Energy per activation — the energy side of the trade-off."""
+        return self.energy.e_act_nj
+
+    def apply(self, config: Optional["GPUConfig"] = None) -> "GPUConfig":
+        """A :class:`GPUConfig` running on this device.
+
+        Non-device fields (SM array, queue sizes, L2 geometry, address
+        mapping, ...) of ``config`` are preserved; the device's timings,
+        energy parameters, and memory clock replace the config's.
+        """
+        from repro.config.gpu import GPUConfig
+
+        base = config if config is not None else GPUConfig()
+        return dataclasses.replace(
+            base,
+            timings=self.timings,
+            energy=self.energy,
+            mem_clock_mhz=self.mem_clock_mhz,
+        )
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+def gddr5_device() -> DeviceModel:
+    """Table I baseline: Hynix GDDR5 at 924 MHz.
+
+    Identical to the package defaults — a simulation on this device is
+    field-identical to one with no device selected.
+    """
+    return DeviceModel(
+        name="gddr5",
+        timings=DRAMTimings(),
+        energy=DRAMEnergyParams(),
+        mem_clock_mhz=924.0,
+        description="Table I baseline (Hynix GDDR5, 924 MHz)",
+    )
+
+
+def gddr5x_device() -> DeviceModel:
+    """GDDR5X-class part: QDR data bus, slightly slower row timings.
+
+    The doubled per-pin rate halves the data-bus occupancy of a 128-byte
+    access (tBURST 4 -> 2) and raises the command clock; the row cycle
+    barely improves, so row energy matters *more* relative to bandwidth.
+    """
+    return DeviceModel(
+        name="gddr5x",
+        timings=DRAMTimings(
+            tCL=14, tRCD=14, tRP=14, tRC=46, tRAS=32, tBURST=2,
+        ),
+        energy=DRAMEnergyParams(
+            technology="GDDR5X",
+            e_act_nj=2.9,
+            e_rd_nj=1.1,
+            e_wr_nj=1.2,
+            background_mw=165.0,
+            baseline_row_energy_fraction=0.38,
+        ),
+        mem_clock_mhz=1250.0,
+        description="GDDR5X-class QDR part (tBURST 2, 1250 MHz)",
+    )
+
+
+def hbm_device() -> DeviceModel:
+    """HBM generation-1 stack: slow clock, wide interface, cheap rows.
+
+    Timings follow :func:`repro.config.timing.hbm1_timings`; energy
+    follows :func:`repro.config.energy.hbm1_energy` (row energy ~50 % of
+    DRAM energy at baseline, the paper's Section V projection).
+    """
+    return DeviceModel(
+        name="hbm",
+        timings=DRAMTimings(tCL=14, tRCD=14, tRP=14, tRC=47, tRAS=33),
+        energy=DRAMEnergyParams(
+            technology="HBM1",
+            e_act_nj=2.4,
+            e_rd_nj=0.5,
+            e_wr_nj=0.55,
+            background_mw=90.0,
+            baseline_row_energy_fraction=0.50,
+        ),
+        mem_clock_mhz=500.0,
+        description="HBM1 stack (500 MHz, row energy ~50 % at baseline)",
+    )
+
+
+def lpddr4_device() -> DeviceModel:
+    """LPDDR4-class mobile part: long bursts, slow rows, tiny background.
+
+    BL16 doubles the data-bus occupancy per 128-byte access (tBURST 8),
+    rows are slow to cycle but cheap to keep idle — the regime where
+    activation elision (AMS) pays off most in relative terms.
+    """
+    return DeviceModel(
+        name="lpddr4",
+        timings=DRAMTimings(
+            tCL=14, tRCD=15, tRP=15, tRC=49, tRAS=34,
+            tCCD=4, tRRD=8, tWR=14, tCWL=7, tBURST=8,
+            tREFI=3120, tRFC=140,
+        ),
+        energy=DRAMEnergyParams(
+            technology="LPDDR4",
+            e_act_nj=1.9,
+            e_rd_nj=0.8,
+            e_wr_nj=0.9,
+            background_mw=40.0,
+            baseline_row_energy_fraction=0.40,
+        ),
+        mem_clock_mhz=800.0,
+        description="LPDDR4-class mobile part (BL16, 800 MHz)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_DEVICES: dict[str, DeviceModel] = {}
+
+
+def register_device(device: DeviceModel) -> DeviceModel:
+    """Validate and register a device model; returns it for chaining."""
+    device.validate()
+    _DEVICES[device.name] = device
+    return device
+
+
+def get_device(name: str) -> DeviceModel:
+    """Look up a registered device model by name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown DRAM device {name!r}; "
+            f"registered: {', '.join(sorted(_DEVICES))}"
+        ) from None
+
+
+def device_names() -> list[str]:
+    """Sorted names of every registered device model."""
+    return sorted(_DEVICES)
+
+
+for _factory in (gddr5_device, gddr5x_device, hbm_device, lpddr4_device):
+    register_device(_factory())
+del _factory

@@ -41,7 +41,10 @@ from repro.sim.report import SimReport
 #: v2: BusUtilizationTracker serialises retained intervals + cursor index
 #: (telemetry-safe windowed queries), and reports carry an optional
 #: ``timeline`` section.
-CACHE_FORMAT_VERSION = 2
+#: v3: keys carry the DRAM device name and the scheduler fingerprint
+#: gained the composable-pipeline fields (``arbiter`` registry names,
+#: ``hit_streak_cap``); v2 entries are plain misses.
+CACHE_FORMAT_VERSION = 3
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -83,19 +86,25 @@ def cache_key(
     seed: int,
     scheduler: SchedulerConfig,
     config: Optional[GPUConfig] = None,
+    device: Optional[str] = None,
     measure_error: bool = False,
     version: int = CACHE_FORMAT_VERSION,
 ) -> str:
     """Content hash identifying one simulation cell.
 
     ``config=None`` hashes identically to the default :class:`GPUConfig`
-    (that is what the simulator instantiates for it).
+    (that is what the simulator instantiates for it). ``device`` is the
+    named DRAM device overlaying the config (None = config-embedded
+    timings); it is part of the key even though a named device also
+    changes the resolved config, so ``--device gddr5`` and the bare
+    default stay distinguishable in the cache.
     """
     payload = {
         "version": version,
         "app": app,
         "scale": scale,
         "seed": seed,
+        "device": device,
         "measure_error": measure_error,
         **config_fingerprint(scheduler, config),
     }

@@ -8,6 +8,8 @@ Examples::
     repro-harness cache info
     repro-harness cache clear
     repro-harness trace Dyn-DMS SCP --scale 0.5 --out-dir traces
+    repro-harness table --device hbm --schemes frfcfs,fcfs,frfcfs-cap
+    repro-harness matrix --devices gddr5,hbm --apps SCP
     python -m repro.harness.cli table2
 """
 
@@ -18,12 +20,18 @@ import json
 import sys
 from pathlib import Path
 
-from repro.errors import CellFailedError
+from repro.dram.devices import device_names, get_device
+from repro.errors import CellFailedError, ConfigError
 from repro.harness.cache import ResultCache
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.faults import FaultPlan, failure_manifest
 from repro.harness.runner import Runner
-from repro.harness.schemes import WINDOW_CYCLES, evaluation_schemes
+from repro.harness.schemes import (
+    WINDOW_CYCLES,
+    evaluation_schemes,
+    scheme_def,
+    scheme_ids,
+)
 
 #: Exit codes of the main experiment command (documented in README):
 #: every requested cell produced a report.
@@ -149,6 +157,195 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _parse_scheme_ids(spec: str | None) -> list[str]:
+    """Comma-separated scheme ids -> validated id list (None = all)."""
+    if spec is None:
+        return scheme_ids()
+    ids = [token.strip() for token in spec.split(",") if token.strip()]
+    for scheme_id in ids:
+        scheme_def(scheme_id)  # raises ConfigError on unknown ids
+    return ids
+
+
+def _scheme_table(
+    runner: Runner,
+    apps: list[str],
+    ids: list[str],
+    *,
+    device: str | None,
+    measure_error: bool,
+) -> str:
+    """Table-III-style comparison: every scheme vs. the FR-FCFS baseline.
+
+    The ``frfcfs`` baseline is always simulated (it is the normalisation
+    reference) even when absent from ``ids``, but only requested schemes
+    appear as rows.
+    """
+    sim_ids = ids if "frfcfs" in ids else ["frfcfs", *ids]
+    schemes = {scheme_def(i).label: scheme_def(i).build() for i in sim_ids}
+    result = runner.run_matrix(apps, schemes, measure_error=measure_error)
+    device_line = "default (config-embedded GDDR5)"
+    if device is not None:
+        model = get_device(device)
+        device_line = f"{device} — {model.description}"
+    lines = [
+        f"Scheme comparison on device: {device_line}",
+        f"(scale={runner.scale}, seed={runner.seed}; "
+        "normalised to Baseline=FR-FCFS per app)",
+    ]
+    header = (
+        f"{'app':<12} {'scheme':<24} {'IPC':>8} {'IPC/b':>6} "
+        f"{'acts':>9} {'acts/b':>6} {'rowE(uJ)':>9} {'rowE/b':>6} "
+        f"{'cov%':>6}"
+    )
+    for app in apps:
+        base = result[(app, "Baseline")]
+        lines.append("")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for scheme_id in sim_ids:
+            label = scheme_def(scheme_id).label
+            report = result[(app, label)]
+            err = report.application_error
+            cov = 100.0 * report.coverage
+            lines.append(
+                f"{app:<12} {label:<24} {report.ipc:>8.3f} "
+                f"{report.normalized_ipc(base):>6.3f} "
+                f"{report.activations:>9d} "
+                f"{report.normalized_activations(base):>6.3f} "
+                f"{report.row_energy_nj / 1e3:>9.2f} "
+                f"{report.normalized_row_energy(base):>6.3f} "
+                f"{cov:>6.2f}"
+                + (f"  err={err:.4g}" if err is not None else "")
+            )
+    return "\n".join(lines)
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``table`` and ``matrix`` subcommands."""
+    parser.add_argument(
+        "--apps", default="SCP",
+        help="comma-separated Table II applications (default: SCP)",
+    )
+    parser.add_argument(
+        "--schemes", "--scheme", dest="schemes", default=None,
+        metavar="IDS",
+        help="comma-separated scheme ids from the catalogue "
+        f"({', '.join(scheme_ids())}); default: all",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload size multiplier (default 0.25: quick tables)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload data/trace seed"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="simulate up to N matrix cells in parallel",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache",
+    )
+    parser.add_argument(
+        "--measure-error", action="store_true",
+        help="replay AMS drops through the kernels and report the "
+        "application error",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+
+
+def _table_main(argv: list[str]) -> int:
+    """The ``repro-harness table`` subcommand: one device, all schemes."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness table",
+        description=(
+            "Compare scheduling schemes (including the fcfs and "
+            "frfcfs-cap baselines) on one DRAM device, Table-III style: "
+            "IPC, activations, and row energy normalised to FR-FCFS."
+        ),
+    )
+    parser.add_argument(
+        "--device", default=None, choices=device_names(),
+        help="DRAM device preset (default: config-embedded GDDR5)",
+    )
+    _add_sweep_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        ids = _parse_scheme_ids(args.schemes)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    runner = Runner(
+        scale=args.scale, seed=args.seed, device=args.device,
+        verbose=not args.quiet, jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+    )
+    try:
+        print(
+            _scheme_table(
+                runner, apps, ids,
+                device=args.device, measure_error=args.measure_error,
+            )
+        )
+    except CellFailedError as exc:
+        _emit_failures(runner.failures or exc.failures, None)
+        return EXIT_FAILED
+    return EXIT_OK
+
+
+def _matrix_main(argv: list[str]) -> int:
+    """The ``repro-harness matrix`` subcommand: device x scheme sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness matrix",
+        description=(
+            "Cross-device sensitivity sweep: the scheme comparison of "
+            "'table' repeated on every requested DRAM device preset."
+        ),
+    )
+    parser.add_argument(
+        "--devices", default=",".join(device_names()),
+        help="comma-separated device presets "
+        f"(default: {','.join(device_names())})",
+    )
+    _add_sweep_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        ids = _parse_scheme_ids(args.schemes)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    for device in devices:
+        if device not in device_names():
+            parser.error(
+                f"unknown device {device!r}; "
+                f"registered: {', '.join(device_names())}"
+            )
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    cache = None if args.no_cache else ResultCache()
+    exit_code = EXIT_OK
+    for device in devices:
+        runner = Runner(
+            scale=args.scale, seed=args.seed, device=device,
+            verbose=not args.quiet, jobs=args.jobs, cache=cache,
+        )
+        try:
+            print(
+                _scheme_table(
+                    runner, apps, ids,
+                    device=device, measure_error=args.measure_error,
+                )
+            )
+            print()
+        except CellFailedError as exc:
+            _emit_failures(runner.failures or exc.failures, None)
+            exit_code = EXIT_FAILED
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or ``all``) and print its tables."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -156,6 +353,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "table":
+        return _table_main(argv[1:])
+    if argv and argv[0] == "matrix":
+        return _matrix_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(
@@ -167,7 +368,15 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (paper figure/table) or 'all' "
         "(also: 'cache clear|info' to manage the result cache, "
-        "'trace <scheme> <workload>' to export telemetry)",
+        "'trace <scheme> <workload>' to export telemetry, "
+        "'table'/'matrix' for scheme and device comparisons)",
+    )
+    parser.add_argument(
+        "--device",
+        default=None,
+        choices=device_names(),
+        help="DRAM device preset for every cell "
+        "(default: config-embedded GDDR5)",
     )
     parser.add_argument(
         "--apps",
@@ -250,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
     runner = Runner(
         scale=args.scale,
         seed=args.seed,
+        device=args.device,
         verbose=not args.quiet,
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),

@@ -63,7 +63,8 @@ from repro.errors import CellFailedError, CellTimeoutError, WorkerCrashError
 from repro.harness.cache import ResultCache, cache_key
 from repro.harness.faults import CellFailure, FaultPlan, corrupt_blob
 from repro.sim.report import SimReport
-from repro.sim.system import GPUSystem, simulate
+from repro.sim.spec import SimSpec
+from repro.sim.system import GPUSystem, simulate_spec
 from repro.telemetry.hub import (
     DEFAULT_WINDOW_CYCLES,
     HARNESS_CHAOS_CORRUPTED,
@@ -81,7 +82,8 @@ from repro.workloads.registry import get_workload
 
 @dataclass(frozen=True)
 class CellSpec:
-    """Everything needed to simulate one matrix cell in any process."""
+    """Everything needed to simulate one matrix cell in any process:
+    the workload coordinates plus a :class:`~repro.sim.spec.SimSpec`."""
 
     app: str
     scale: float
@@ -89,6 +91,17 @@ class CellSpec:
     config: Optional[GPUConfig]
     scheme: SchedulerConfig
     measure_error: bool
+    device: Optional[str] = None
+
+    @property
+    def sim_spec(self) -> SimSpec:
+        """The :class:`SimSpec` describing how this cell simulates."""
+        return SimSpec(
+            scheduler=self.scheme,
+            device=self.device,
+            config=self.config,
+            measure_error=self.measure_error,
+        )
 
     @property
     def key(self) -> str:
@@ -99,6 +112,7 @@ class CellSpec:
             seed=self.seed,
             scheduler=self.scheme,
             config=self.config,
+            device=self.device,
             measure_error=self.measure_error,
         )
 
@@ -128,12 +142,7 @@ def _simulate_cell(
     reset_request_ids()
     workload = get_workload(spec.app, scale=spec.scale, seed=spec.seed)
     start = time.perf_counter()
-    report = simulate(
-        workload,
-        scheduler=spec.scheme,
-        config=spec.config,
-        measure_error=spec.measure_error,
-    )
+    report = simulate_spec(workload, spec.sim_spec)
     return report, time.perf_counter() - start
 
 
@@ -248,6 +257,8 @@ class Runner:
     scale: float = 1.0
     seed: int = 7
     config: Optional[GPUConfig] = None
+    #: Named DRAM device overlaying ``config`` (None = config-embedded).
+    device: Optional[str] = None
     verbose: bool = True
     jobs: int = 1
     cache: Optional[ResultCache] = field(default_factory=ResultCache)
@@ -275,6 +286,7 @@ class Runner:
             config=self.config,
             scheme=scheme,
             measure_error=measure_error,
+            device=self.device,
         )
 
     def _log(self, app: str, label: str, detail: str) -> None:
@@ -356,9 +368,10 @@ class Runner:
         reset_request_ids()
         workload = get_workload(app, scale=self.scale, seed=self.seed)
         hub = MetricsHub(window_cycles=window_cycles)
-        system = GPUSystem(
-            config=self.config,
-            scheduler=scheme,
+        system = GPUSystem.from_spec(
+            SimSpec(
+                scheduler=scheme, device=self.device, config=self.config
+            ),
             log_commands=log_commands,
             telemetry=hub,
         )

@@ -1,22 +1,27 @@
-"""The memory controller: FR-FCFS + lazy (DMS/AMS) scheduling.
+"""The memory controller: a thin command-issue engine over the policy
+pipeline.
 
 This module implements the design of paper Fig. 9. Request flow:
 
 * (A) L2 misses arrive via :meth:`MemoryController.submit` and buffer in
   the pending queue.
-* (B) The service loop issues FR-FCFS commands: row-buffer hits first
-  (oldest hit first), otherwise the oldest request per bank opens its
-  row — *gated by the DMS unit* (C): the oldest request must have aged at
-  least X cycles before its activation may issue.
-* (D/E) When a row switch is about to happen, the AMS unit may instead
-  drop the request and all pending same-row requests; the VP unit picks a
-  donor line and the requests are answered immediately with approximate
-  data.
+* (B) The *candidate selector* (plugin, ``SchedulerConfig.arbiter``)
+  proposes the best next DRAM command — FR-FCFS by default: row-buffer
+  hits first (oldest hit first), otherwise the oldest request per bank
+  opens its row, *gated by the activation gate* (C): under DMS the
+  oldest request must have aged at least X cycles before its activation
+  may issue.
+* (D/E) When a row switch is about to happen, the *drop policy* (AMS)
+  may instead drop the request and all pending same-row requests; the VP
+  unit picks a donor line and the requests are answered immediately with
+  approximate data.
 * (F) Normally-served reads reply when their data burst completes.
 
 The controller is event-driven: the service loop issues every command
 whose ready time has arrived and schedules a wake-up at the earliest time
-the next command could issue.
+the next command could issue. The policies themselves live in
+:mod:`repro.sched.policies`; this class only sequences them and talks to
+the channel.
 """
 
 from __future__ import annotations
@@ -25,12 +30,15 @@ from typing import Callable, Optional
 
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import AMSMode, DMSMode, SchedulerConfig
-from repro.dram.bank import NO_ROW as _NO_ROW
 from repro.dram.channel import Channel
 from repro.dram.request import MemoryRequest
-from repro.sched.ams import AMSUnit
-from repro.sched.dms import DMSUnit
 from repro.sched.pending_queue import PendingQueue
+from repro.sched.policies import (
+    CandidateSelector,
+    make_drop_policy,
+    make_gate,
+    make_selector,
+)
 from repro.sim.engine import Engine
 from repro.telemetry.hub import NULL_HUB, MetricsHub
 from repro.vp.predictor import DropRecord, ValuePredictor
@@ -39,13 +47,6 @@ from repro.vp.predictor import DropRecord, ValuePredictor
 ReplyFn = Callable[[MemoryRequest, bool, Optional[int]], None]
 
 _EPS = 1e-9
-
-# Candidate kinds, also used as FR-FCFS priority (hits before switches).
-# PRE and ACT are the two halves of a row switch, issued as independent
-# commands so other banks can use the command bus during tRP/tRRD windows.
-_COL = 0
-_PRE = 1
-_ACT = 1
 
 
 class MemoryController:
@@ -73,8 +74,20 @@ class MemoryController:
         self.queue = PendingQueue(
             config.pending_queue_size, config.mapping.banks_per_channel
         )
-        self.dms = DMSUnit(sched_config.dms)
-        self.ams = AMSUnit(sched_config.ams)
+        # The policy pipeline: gate (C) and drop policy (D/E) are always
+        # the paper's DMS/AMS units — their OFF modes are pass-throughs —
+        # while the selector (B) is chosen by ``sched_config.arbiter``.
+        self.dms = make_gate("dms", sched_config.dms)
+        self.ams = make_drop_policy("ams", sched_config.ams)
+        self.selector = make_selector(sched_config.arbiter, sched_config)
+        self.selector.bind(queue=self.queue, channel=channel, gate=self.dms)
+        # Stateless selectors don't override on_issue; skip the call
+        # entirely for them (the service loop is the hottest path).
+        self._notify_issue: Optional[Callable] = (
+            self.selector.on_issue
+            if type(self.selector).on_issue is not CandidateSelector.on_issue
+            else None
+        )
         self.drops: list[DropRecord] = []
         self._next_wake: Optional[float] = None
         self._wake_handle: int = -1
@@ -101,9 +114,6 @@ class MemoryController:
         # the profiler running.
         self._ticks_armed = False
         self._window_arrivals = 0
-        # Baseline-policy ablations (Section II-C justification).
-        self._fcfs = sched_config.arbiter == "fcfs"
-        self._close_row = sched_config.row_policy == "close"
 
     # ------------------------------------------------------------------
     # Ingress (A)
@@ -158,111 +168,46 @@ class MemoryController:
     # Service loop (B)
     # ------------------------------------------------------------------
     def _service(self) -> None:
-        # This is the simulator's hottest loop (profiled): every engine
-        # event lands here. Bound methods and flags are hoisted into
-        # locals, and the best-candidate fold is inlined (a `consider`
-        # closure here costs ~15 % of total runtime in call overhead).
+        # Every engine event lands here; one selector call per issued
+        # command, with the candidate fold inlined inside the selector.
         now = self.engine.now
         channel = self.channel
         queue = self.queue
-        banks = channel.banks
-        fcfs = self._fcfs
+        select = self.selector.select
+        notify = self._notify_issue
+        may_drop = self.ams.may_drop
         refresh_enabled = channel.refresh_enabled
-        oldest_hit_for = queue.oldest_hit_for
-        oldest_for_bank = queue.oldest_for_bank
-        column_ready_time = channel.column_ready_time
-        precharge_ready_time = channel.precharge_ready_time
-        activate_ready_time = channel.activate_ready_time
-        earliest_eligible = self.dms.earliest_eligible
         while True:
             if refresh_enabled and channel.refresh_due(now):
                 channel.issue_refresh(now)
                 continue
-            best_key: Optional[tuple[float, int, float]] = None
-            best_kind = ""
-            best_bank = None
-            best_req: Optional[MemoryRequest] = None
-
-            for bank_idx in queue.banks_with_pending():
-                bank = banks[bank_idx]
-                open_row = bank.open_row
-                is_open = open_row != _NO_ROW
-                if is_open and not fcfs:
-                    hit = oldest_hit_for(bank_idx, open_row)
-                    if hit is not None:
-                        ready = column_ready_time(bank, hit.is_write, now)
-                        key = (ready, _COL, hit.enqueue_time)
-                        if best_key is None or key < best_key:
-                            best_key, best_kind = key, "col"
-                            best_bank, best_req = bank, hit
-                        continue
-                oldest = oldest_for_bank(bank_idx)
-                if oldest is None:
-                    continue
-                if fcfs and is_open and oldest.row == open_row:
-                    # Strict FCFS: only the *oldest* request may issue,
-                    # even when younger row hits are pending.
-                    ready = column_ready_time(bank, oldest.is_write, now)
-                    key = (ready, _COL, oldest.enqueue_time)
-                    if best_key is None or key < best_key:
-                        best_key, best_kind = key, "col"
-                        best_bank, best_req = bank, oldest
-                    continue
-                # The DMS gate applies to the command that commits to
-                # opening a new row: PRE for an open bank, ACT otherwise.
-                gate = earliest_eligible(oldest.enqueue_time)
-                if is_open:
-                    ready = precharge_ready_time(bank, now)
-                    if ready < gate:
-                        ready = gate
-                    key = (ready, _PRE, oldest.enqueue_time)
-                    if best_key is None or key < best_key:
-                        best_key, best_kind = key, "pre"
-                        best_bank, best_req = bank, oldest
-                else:
-                    ready = activate_ready_time(bank, now)
-                    if ready < gate:
-                        ready = gate
-                    key = (ready, _ACT, oldest.enqueue_time)
-                    if best_key is None or key < best_key:
-                        best_key, best_kind = key, "act"
-                        best_bank, best_req = bank, oldest
-            if self._close_row:
-                # Close-row policy: precharge any open bank with no
-                # pending hits, without waiting for a row-opening request.
-                for bank in banks:
-                    if not bank.is_open:
-                        continue
-                    if oldest_hit_for(bank.index, bank.open_row) is not None:
-                        continue
-                    ready = precharge_ready_time(bank, now)
-                    key = (ready, _PRE, float("inf"))
-                    if best_key is None or key < best_key:
-                        best_key, best_kind = key, "close"
-                        best_bank, best_req = bank, None
-            if best_key is None:
+            best = select(now)
+            if best is None:
                 return  # queue empty: next arrival re-kicks us
-            ready = best_key[0]
+            key, kind, bank, request = best
+            ready = key[0]
             if refresh_enabled:
                 ready = min(ready, channel.next_refresh_time())
             if ready > now + _EPS:
                 self._wake_at(ready)
                 return
-            if best_kind == "col":
-                self._issue_column(best_bank, best_req)
-            elif best_kind == "close":
-                channel.issue_precharge(best_bank, now)
-            elif best_kind == "pre":
+            if kind == "col":
+                self._issue_column(bank, request)
+            elif kind == "close":
+                channel.issue_precharge(bank, now)
+            elif kind == "pre":
                 # Dropping instead of precharging leaves the row open.
-                if self.ams.may_drop(queue, best_bank.index, best_req.row):
-                    self._drop_row(best_bank.index, best_req.row)
+                if may_drop(queue, bank.index, request.row):
+                    self._drop_row(bank.index, request.row)
                 else:
-                    channel.issue_precharge(best_bank, now)
+                    channel.issue_precharge(bank, now)
             else:  # "act"
-                if self.ams.may_drop(queue, best_bank.index, best_req.row):
-                    self._drop_row(best_bank.index, best_req.row)
+                if may_drop(queue, bank.index, request.row):
+                    self._drop_row(bank.index, request.row)
                 else:
-                    channel.issue_activate(best_bank, best_req.row, now)
+                    channel.issue_activate(bank, request.row, now)
+            if notify is not None:
+                notify(kind, bank.index, request)
 
     def _issue_column(self, bank, request: MemoryRequest) -> None:
         now = self.engine.now

@@ -1,0 +1,60 @@
+"""Composable scheduler-policy registries.
+
+Importing this package registers the built-in policies:
+
+* candidate selectors — ``frfcfs`` (paper baseline), ``fcfs``,
+  ``frfcfs-cap``;
+* activation gates — ``dms`` (paper Section IV-B), ``none``;
+* drop policies — ``ams`` (paper Section IV-C), ``none``.
+
+See :mod:`repro.sched.policies.base` for the plugin contracts and
+registration functions.
+"""
+
+from repro.sched.policies.base import (
+    COL_PRIORITY,
+    SWITCH_PRIORITY,
+    ActivationGate,
+    Candidate,
+    CandidateSelector,
+    DropPolicy,
+    drop_policy_names,
+    gate_names,
+    make_drop_policy,
+    make_gate,
+    make_selector,
+    register_drop_policy,
+    register_gate,
+    register_selector,
+    selector_names,
+)
+from repro.sched.policies.drops import NullDropPolicy
+from repro.sched.policies.gates import NullGate
+from repro.sched.policies.selectors import (
+    FCFSSelector,
+    FRFCFSCapSelector,
+    FRFCFSSelector,
+)
+
+__all__ = [
+    "ActivationGate",
+    "COL_PRIORITY",
+    "Candidate",
+    "CandidateSelector",
+    "DropPolicy",
+    "FCFSSelector",
+    "FRFCFSCapSelector",
+    "FRFCFSSelector",
+    "NullDropPolicy",
+    "NullGate",
+    "SWITCH_PRIORITY",
+    "drop_policy_names",
+    "gate_names",
+    "make_drop_policy",
+    "make_gate",
+    "make_selector",
+    "register_drop_policy",
+    "register_gate",
+    "register_selector",
+    "selector_names",
+]

@@ -1,0 +1,282 @@
+"""Plugin interfaces of the composable scheduler-policy pipeline.
+
+The memory controller used to hard-wire three decisions into one class;
+they are now three independently pluggable roles (paper Fig. 9 letters
+in parentheses):
+
+* **Candidate selector** (B) — scans the pending queue and proposes the
+  single best next DRAM command as a :data:`Candidate`. FR-FCFS is the
+  paper's baseline; FCFS and FR-FCFS-with-streak-cap are comparison
+  baselines (cf. the staged/decomposed scheduler designs of
+  Ausavarungnirun et al.).
+* **Activation gate** (C) — may defer the command that commits to
+  opening a new row. The paper's DMS unit is the canonical gate.
+* **Drop policy** (D/E) — may answer a row's pending requests with
+  predicted values instead of opening the row. The paper's AMS unit is
+  the canonical drop policy.
+
+Each role has a string-keyed registry so new policies compose with the
+existing ones declaratively (``SchedulerConfig.arbiter`` /
+``harness.schemes``) without touching the controller's hot path.
+
+A candidate is a plain tuple — the selector runs once per issued DRAM
+command, on the simulator's hottest loop, so no wrapper object is worth
+its allocation::
+
+    (key, kind, bank, request)
+
+``key = (ready_time, priority, enqueue_time)`` orders candidates
+(earliest ready first, row hits before row switches, oldest first);
+``kind`` is one of ``"col"``, ``"pre"``, ``"act"``, ``"close"``;
+``request`` is ``None`` for ``"close"`` (close-row sweep) candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, ClassVar, Optional
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.config.scheduler import AMSConfig, DMSConfig, SchedulerConfig
+    from repro.dram.channel import Channel
+    from repro.dram.request import MemoryRequest
+    from repro.sched.pending_queue import PendingQueue
+
+#: (key, kind, bank, request) — see module docstring.
+Candidate = tuple  # type: ignore[type-arg]
+
+#: FR-FCFS priority classes used in candidate keys: row hits (column
+#: commands) strictly before row switches. PRE and ACT are the two
+#: halves of a row switch, issued as independent commands so other
+#: banks can use the command bus during tRP/tRRD windows.
+COL_PRIORITY = 0
+SWITCH_PRIORITY = 1
+
+
+class CandidateSelector(ABC):
+    """Scans the pending queue and proposes the next DRAM command.
+
+    Lifecycle: constructed from the :class:`SchedulerConfig`, then
+    :meth:`bind`-ed once to its controller's queue/channel/gate (bound
+    methods are hoisted to attributes there — ``select`` runs once per
+    issued command). ``select`` must be read-only: it may not mutate
+    the queue, the banks, or the gate.
+    """
+
+    #: Registry key; also the ``SchedulerConfig.arbiter`` value.
+    name: ClassVar[str] = ""
+
+    def __init__(self, config: "SchedulerConfig") -> None:
+        self.config = config
+        self._close_row = config.row_policy == "close"
+
+    def bind(
+        self,
+        *,
+        queue: "PendingQueue",
+        channel: "Channel",
+        gate: "ActivationGate",
+    ) -> None:
+        """Attach to one controller; hoist the hot-path bound methods."""
+        self._queue = queue
+        self._channel = channel
+        self._banks = channel.banks
+        self._gate = gate
+        self._earliest_eligible = gate.earliest_eligible
+        self._banks_with_pending = queue.banks_with_pending
+        self._oldest_for_bank = queue.oldest_for_bank
+        self._oldest_hit_for = queue.oldest_hit_for
+        self._column_ready_time = channel.column_ready_time
+        self._precharge_ready_time = channel.precharge_ready_time
+        self._activate_ready_time = channel.activate_ready_time
+
+    @abstractmethod
+    def select(self, now: float) -> Optional[Candidate]:
+        """The best candidate at ``now``, or None when nothing pends."""
+
+    def on_issue(
+        self, kind: str, bank: int, request: Optional["MemoryRequest"]
+    ) -> None:
+        """Issue notification for stateful selectors (e.g. streak caps).
+
+        The controller skips this call entirely when a selector does not
+        override it, so stateless selectors pay nothing.
+        """
+
+    # ------------------------------------------------------------------
+    def _consider_close_rows(
+        self, best: Optional[Candidate], now: float
+    ) -> Optional[Candidate]:
+        """Close-row policy sweep: fold in a PRE for any open bank with
+        no pending hits, without waiting for a row-opening request."""
+        oldest_hit_for = self._oldest_hit_for
+        precharge_ready_time = self._precharge_ready_time
+        for bank in self._banks:
+            if not bank.is_open:
+                continue
+            if oldest_hit_for(bank.index, bank.open_row) is not None:
+                continue
+            ready = precharge_ready_time(bank, now)
+            key = (ready, SWITCH_PRIORITY, float("inf"))
+            if best is None or key < best[0]:
+                best = (key, "close", bank, None)
+        return best
+
+
+class ActivationGate(ABC):
+    """Decides *when* a row-opening command becomes eligible.
+
+    The contract mirrors the paper's DMS unit: the gate maps a pending
+    request's enqueue time to the earliest simulation time at which the
+    command that would open its row (PRE on an open bank, ACT on a
+    closed one) may be considered. Row hits are never gated.
+    """
+
+    name: ClassVar[str] = ""
+
+    @property
+    @abstractmethod
+    def enabled(self) -> bool:
+        """Whether the gate constrains anything at all."""
+
+    @property
+    @abstractmethod
+    def current_delay(self) -> float:
+        """The delay currently enforced (telemetry probe)."""
+
+    @property
+    @abstractmethod
+    def wants_ams_halted(self) -> bool:
+        """True while the gate needs the drop policy paused (Dyn-DMS
+        samples its no-delay baseline with AMS halted)."""
+
+    @abstractmethod
+    def earliest_eligible(self, enqueue_time: float) -> float:
+        """Earliest time a row-opening request enqueued at
+        ``enqueue_time`` may be considered for scheduling."""
+
+    def on_window(self, bwutil: float) -> None:
+        """Consume one profiling window's bus utilisation."""
+
+
+class DropPolicy(ABC):
+    """Decides whether a prospective row activation should be elided by
+    dropping its pending requests (answered by the value predictor).
+    """
+
+    name: ClassVar[str] = ""
+
+    @property
+    @abstractmethod
+    def enabled(self) -> bool:
+        """Whether the policy can ever drop."""
+
+    @property
+    @abstractmethod
+    def coverage(self) -> float:
+        """Cumulative dropped / arrived reads (the paper's coverage)."""
+
+    @abstractmethod
+    def may_drop(
+        self, queue: "PendingQueue", bank: int, row: int
+    ) -> bool:
+        """Whether the activation of ``(bank, row)`` should be elided."""
+
+    def set_halted(self, halted: bool) -> None:
+        """Pause/resume dropping (driven by the gate's baseline probe)."""
+
+    def on_read_arrival(self) -> None:
+        """Count an arriving global read (the coverage denominator)."""
+
+    def on_drop(self, count: int = 1) -> None:
+        """Count ``count`` dropped reads."""
+
+    def on_window(self) -> None:
+        """Close one profiling window (dynamic threshold control)."""
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+_SELECTORS: dict[str, type[CandidateSelector]] = {}
+_GATES: dict[str, Callable[["DMSConfig"], ActivationGate]] = {}
+_DROP_POLICIES: dict[str, Callable[["AMSConfig"], DropPolicy]] = {}
+
+
+def register_selector(
+    cls: type[CandidateSelector],
+) -> type[CandidateSelector]:
+    """Register a selector class under its ``name`` (decorator-friendly)."""
+    if not cls.name:
+        raise ConfigError(f"selector {cls.__name__} has no name")
+    _SELECTORS[cls.name] = cls
+    return cls
+
+
+def make_selector(
+    name: str, config: "SchedulerConfig"
+) -> CandidateSelector:
+    """Instantiate the registered selector ``name`` for ``config``."""
+    try:
+        cls = _SELECTORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown candidate selector {name!r}; "
+            f"registered: {', '.join(sorted(_SELECTORS))}"
+        ) from None
+    return cls(config)
+
+
+def selector_names() -> list[str]:
+    """Sorted names of every registered candidate selector."""
+    return sorted(_SELECTORS)
+
+
+def register_gate(
+    name: str, factory: Callable[["DMSConfig"], ActivationGate]
+) -> None:
+    """Register an activation-gate factory under ``name``."""
+    _GATES[name] = factory
+
+
+def make_gate(name: str, config: "DMSConfig") -> ActivationGate:
+    """Instantiate the registered activation gate ``name``."""
+    try:
+        factory = _GATES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown activation gate {name!r}; "
+            f"registered: {', '.join(sorted(_GATES))}"
+        ) from None
+    return factory(config)
+
+
+def gate_names() -> list[str]:
+    """Sorted names of every registered activation gate."""
+    return sorted(_GATES)
+
+
+def register_drop_policy(
+    name: str, factory: Callable[["AMSConfig"], DropPolicy]
+) -> None:
+    """Register a drop-policy factory under ``name``."""
+    _DROP_POLICIES[name] = factory
+
+
+def make_drop_policy(name: str, config: "AMSConfig") -> DropPolicy:
+    """Instantiate the registered drop policy ``name``."""
+    try:
+        factory = _DROP_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown drop policy {name!r}; "
+            f"registered: {', '.join(sorted(_DROP_POLICIES))}"
+        ) from None
+    return factory(config)
+
+
+def drop_policy_names() -> list[str]:
+    """Sorted names of every registered drop policy."""
+    return sorted(_DROP_POLICIES)

@@ -1,0 +1,49 @@
+"""Drop policies: the "may this activation be elided" role.
+
+The paper's AMS unit (:class:`repro.sched.ams.AMSUnit`) *is* the
+canonical drop policy — it already speaks the :class:`DropPolicy`
+contract and is registered here as ``"ams"`` (with ``AMSConfig.mode``
+selecting off/static/dynamic, so the OFF mode doubles as a no-drop
+policy). The explicit ``"none"`` policy exists for compositions and
+tests that want no AMS ledger at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.scheduler import AMSConfig
+from repro.sched.ams import AMSUnit
+from repro.sched.policies.base import DropPolicy, register_drop_policy
+
+
+class NullDropPolicy(DropPolicy):
+    """Never drops; keeps no coverage ledger."""
+
+    name = "none"
+
+    def __init__(self, config: Optional[AMSConfig] = None) -> None:
+        self.config = config if config is not None else AMSConfig()
+        self.reads_arrived = 0
+        self.reads_dropped = 0
+        self.th_rbl = 0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @property
+    def coverage(self) -> float:
+        return 0.0
+
+    def may_drop(self, queue, bank: int, row: int) -> bool:
+        return False
+
+
+# AMSUnit predates the plugin interface and satisfies it structurally;
+# adopt it as a virtual subclass rather than editing a verified unit.
+DropPolicy.register(AMSUnit)
+AMSUnit.name = "ams"
+
+register_drop_policy("ams", AMSUnit)
+register_drop_policy("none", NullDropPolicy)

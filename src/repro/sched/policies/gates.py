@@ -1,0 +1,50 @@
+"""Activation gates: the "when may a row open" role.
+
+The paper's DMS unit (:class:`repro.sched.dms.DMSUnit`) *is* the
+canonical gate — it already speaks the :class:`ActivationGate` contract
+and is registered here as ``"dms"`` (with ``DMSConfig.mode`` selecting
+off/static/dynamic, so the OFF mode doubles as a pass-through). The
+explicit ``"none"`` gate exists for compositions and tests that want a
+gate with no DMS state at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.scheduler import DMSConfig
+from repro.sched.dms import DMSUnit
+from repro.sched.policies.base import ActivationGate, register_gate
+
+
+class NullGate(ActivationGate):
+    """Pass-through gate: every row-opening command is always eligible."""
+
+    name = "none"
+
+    def __init__(self, config: Optional[DMSConfig] = None) -> None:
+        self.config = config if config is not None else DMSConfig()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @property
+    def current_delay(self) -> float:
+        return 0.0
+
+    @property
+    def wants_ams_halted(self) -> bool:
+        return False
+
+    def earliest_eligible(self, enqueue_time: float) -> float:
+        return enqueue_time
+
+
+# DMSUnit predates the plugin interface and satisfies it structurally;
+# adopt it as a virtual subclass rather than editing a verified unit.
+ActivationGate.register(DMSUnit)
+DMSUnit.name = "dms"
+
+register_gate("dms", DMSUnit)
+register_gate("none", NullGate)

@@ -1,0 +1,222 @@
+"""Candidate selectors: the baseline arbiters under DMS/AMS.
+
+All three selectors share the candidate-key discipline of
+:mod:`repro.sched.policies.base` — ``(ready_time, priority,
+enqueue_time)`` with strict ``<`` comparison and first-wins tie-break —
+so swapping selectors changes *which* commands compete, never how ties
+resolve.
+
+``select`` is the simulator's hottest call (one per issued DRAM
+command): bound methods are hoisted to locals and the fold is inlined
+rather than factored through a ``consider()`` helper, which profiles at
+~15 % of total runtime in call overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.bank import NO_ROW as _NO_ROW
+from repro.sched.policies.base import (
+    COL_PRIORITY as _COL,
+    SWITCH_PRIORITY as _SWITCH,
+    Candidate,
+    CandidateSelector,
+    register_selector,
+)
+
+
+@register_selector
+class FRFCFSSelector(CandidateSelector):
+    """FR-FCFS (Rixner et al.): row hits first, then oldest-first.
+
+    The paper's baseline arbiter. Per bank, the oldest pending row hit
+    competes as a column command; a bank with no hits competes with the
+    command that opens its oldest request's row (PRE when a stale row is
+    open, ACT otherwise), gated by the activation gate.
+    """
+
+    name = "frfcfs"
+
+    def select(self, now: float) -> Optional[Candidate]:
+        best: Optional[Candidate] = None
+        banks = self._banks
+        oldest_hit_for = self._oldest_hit_for
+        oldest_for_bank = self._oldest_for_bank
+        column_ready_time = self._column_ready_time
+        precharge_ready_time = self._precharge_ready_time
+        activate_ready_time = self._activate_ready_time
+        earliest_eligible = self._earliest_eligible
+        for bank_idx in self._banks_with_pending():
+            bank = banks[bank_idx]
+            open_row = bank.open_row
+            is_open = open_row != _NO_ROW
+            if is_open:
+                hit = oldest_hit_for(bank_idx, open_row)
+                if hit is not None:
+                    ready = column_ready_time(bank, hit.is_write, now)
+                    key = (ready, _COL, hit.enqueue_time)
+                    if best is None or key < best[0]:
+                        best = (key, "col", bank, hit)
+                    continue
+            oldest = oldest_for_bank(bank_idx)
+            if oldest is None:
+                continue
+            # The gate applies to the command that commits to opening a
+            # new row: PRE for an open bank, ACT otherwise.
+            gate = earliest_eligible(oldest.enqueue_time)
+            if is_open:
+                ready = precharge_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "pre", bank, oldest)
+            else:
+                ready = activate_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "act", bank, oldest)
+        if self._close_row:
+            best = self._consider_close_rows(best, now)
+        return best
+
+
+@register_selector
+class FCFSSelector(CandidateSelector):
+    """Strict FCFS per bank: only the *oldest* request may issue.
+
+    Younger row hits never bypass an older request, even to an open row
+    — the Section II-C ablation that motivates FR-FCFS as the baseline.
+    """
+
+    name = "fcfs"
+
+    def select(self, now: float) -> Optional[Candidate]:
+        best: Optional[Candidate] = None
+        banks = self._banks
+        oldest_for_bank = self._oldest_for_bank
+        column_ready_time = self._column_ready_time
+        precharge_ready_time = self._precharge_ready_time
+        activate_ready_time = self._activate_ready_time
+        earliest_eligible = self._earliest_eligible
+        for bank_idx in self._banks_with_pending():
+            bank = banks[bank_idx]
+            open_row = bank.open_row
+            is_open = open_row != _NO_ROW
+            oldest = oldest_for_bank(bank_idx)
+            if oldest is None:
+                continue
+            if is_open and oldest.row == open_row:
+                ready = column_ready_time(bank, oldest.is_write, now)
+                key = (ready, _COL, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "col", bank, oldest)
+                continue
+            gate = earliest_eligible(oldest.enqueue_time)
+            if is_open:
+                ready = precharge_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "pre", bank, oldest)
+            else:
+                ready = activate_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "act", bank, oldest)
+        if self._close_row:
+            best = self._consider_close_rows(best, now)
+        return best
+
+
+@register_selector
+class FRFCFSCapSelector(CandidateSelector):
+    """FR-FCFS with a row-hit streak cap (starvation bound).
+
+    Identical to FR-FCFS until one bank has served
+    ``SchedulerConfig.hit_streak_cap`` consecutive hits to its open row
+    while an older request for a *different* row waits on the same bank;
+    the next hit is then suppressed so the oldest request forces the row
+    switch. Caps the worst-case wait a row-miss request can suffer under
+    a hit-heavy access stream (cf. the batch-oriented GPU schedulers).
+    """
+
+    name = "frfcfs-cap"
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self._cap = config.hit_streak_cap
+        #: bank index -> (row, consecutive column commands to that row).
+        self._streaks: dict[int, tuple[int, int]] = {}
+
+    def select(self, now: float) -> Optional[Candidate]:
+        best: Optional[Candidate] = None
+        banks = self._banks
+        cap = self._cap
+        streaks = self._streaks
+        oldest_hit_for = self._oldest_hit_for
+        oldest_for_bank = self._oldest_for_bank
+        column_ready_time = self._column_ready_time
+        precharge_ready_time = self._precharge_ready_time
+        activate_ready_time = self._activate_ready_time
+        earliest_eligible = self._earliest_eligible
+        for bank_idx in self._banks_with_pending():
+            bank = banks[bank_idx]
+            open_row = bank.open_row
+            is_open = open_row != _NO_ROW
+            if is_open:
+                hit = oldest_hit_for(bank_idx, open_row)
+                if hit is not None:
+                    streak = streaks.get(bank_idx)
+                    if (
+                        streak is not None
+                        and streak[0] == open_row
+                        and streak[1] >= cap
+                    ):
+                        oldest = oldest_for_bank(bank_idx)
+                        if oldest is not None and oldest.row != open_row:
+                            hit = None  # capped: force the row switch
+                if hit is not None:
+                    ready = column_ready_time(bank, hit.is_write, now)
+                    key = (ready, _COL, hit.enqueue_time)
+                    if best is None or key < best[0]:
+                        best = (key, "col", bank, hit)
+                    continue
+            oldest = oldest_for_bank(bank_idx)
+            if oldest is None:
+                continue
+            gate = earliest_eligible(oldest.enqueue_time)
+            if is_open:
+                ready = precharge_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "pre", bank, oldest)
+            else:
+                ready = activate_ready_time(bank, now)
+                if ready < gate:
+                    ready = gate
+                key = (ready, _SWITCH, oldest.enqueue_time)
+                if best is None or key < best[0]:
+                    best = (key, "act", bank, oldest)
+        if self._close_row:
+            best = self._consider_close_rows(best, now)
+        return best
+
+    def on_issue(self, kind, bank_idx, request) -> None:
+        if kind == "col" and request is not None:
+            streak = self._streaks.get(bank_idx)
+            if streak is not None and streak[0] == request.row:
+                self._streaks[bank_idx] = (request.row, streak[1] + 1)
+            else:
+                self._streaks[bank_idx] = (request.row, 1)
+        else:
+            # Any row switch (PRE/ACT/close/drop) breaks the streak.
+            self._streaks.pop(bank_idx, None)

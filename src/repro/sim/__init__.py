@@ -1,15 +1,24 @@
-"""Simulation driver: event engine, system assembly, reports."""
+"""Simulation driver: event engine, system assembly, specs, reports."""
 
 from repro.sim.engine import Engine
 from repro.sim.report import L2Summary, SimReport
+from repro.sim.spec import SimSpec
 
-__all__ = ["Engine", "GPUSystem", "L2Summary", "SimReport", "simulate"]
+__all__ = [
+    "Engine",
+    "GPUSystem",
+    "L2Summary",
+    "SimReport",
+    "SimSpec",
+    "simulate",
+    "simulate_spec",
+]
 
 
 def __getattr__(name: str):
     # GPUSystem/simulate import the gpu frontend, which itself imports
     # repro.sim.engine; loading them lazily breaks the package-init cycle.
-    if name in ("GPUSystem", "simulate"):
+    if name in ("GPUSystem", "simulate", "simulate_spec"):
         from repro.sim import system
 
         return getattr(system, name)

@@ -1,0 +1,95 @@
+"""Serialisable simulation specification.
+
+A :class:`SimSpec` is the single value that says *how* to simulate:
+which scheduler scheme, which DRAM device, any GPU-configuration
+overrides, and the observability/error flags. It replaces the scattered
+``simulate(...)`` keyword arguments and flows unchanged through the
+:class:`~repro.harness.runner.Runner`, the persistent result cache key,
+and the CLI's ``--device``/``--scheme`` options — one object, one JSON
+form, one fingerprint.
+
+Device semantics: ``device=None`` means "use the timings/energy/clock
+embedded in ``config``" (the legacy path — bit-identical to the
+pre-SimSpec simulator, and what tests passing custom configs rely on).
+A named device resolves through :mod:`repro.dram.devices` and overrides
+those three fields of the resolved config; the ``"gddr5"`` preset is
+numerically identical to the defaults, so naming it changes nothing but
+the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.config.codec import decode_optional, encode
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import SchedulerConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Everything but the workload: scheme + device + overrides + flags."""
+
+    #: The full scheduler composition (selector + DMS + AMS + VP).
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Registered DRAM device name, or None for config-embedded timings.
+    device: Optional[str] = None
+    #: GPU overrides; None means the Table I default :class:`GPUConfig`.
+    config: Optional[GPUConfig] = None
+    #: Replay the AMS drop log through the workload kernel afterwards.
+    measure_error: bool = False
+    #: Keep per-channel activation logs on the report (RBL histograms).
+    record_activations: bool = True
+    #: Attach a windowed-telemetry hub (``report.timeline``).
+    telemetry: bool = False
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the spec is resolvable; raise :class:`ConfigError`."""
+        self.scheduler.validate()
+        if self.device is not None:
+            from repro.dram.devices import get_device
+
+            get_device(self.device)  # raises ConfigError when unknown
+        if self.config is not None:
+            self.config.validate()
+
+    def resolve_config(self) -> GPUConfig:
+        """The concrete :class:`GPUConfig` this spec simulates on."""
+        base = self.config if self.config is not None else GPUConfig()
+        if self.device is None:
+            return base
+        from repro.dram.devices import get_device
+
+        return get_device(self.device).apply(base)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready form (round-trips via :meth:`from_dict`)."""
+        return {
+            "scheduler": encode(self.scheduler),
+            "device": self.device,
+            "config": encode(self.config) if self.config is not None else None,
+            "measure_error": self.measure_error,
+            "record_activations": self.record_activations,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"SimSpec payload must be a dict, got {type(data).__name__}"
+            )
+        scheduler = decode_optional(SchedulerConfig, data.get("scheduler"))
+        return cls(
+            scheduler=scheduler if scheduler is not None else SchedulerConfig(),
+            device=data.get("device"),
+            config=decode_optional(GPUConfig, data.get("config")),
+            measure_error=bool(data.get("measure_error", False)),
+            record_activations=bool(data.get("record_activations", True)),
+            telemetry=bool(data.get("telemetry", False)),
+        )

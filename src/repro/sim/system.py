@@ -21,6 +21,7 @@ from repro.gpu.warp import Access, Warp, WarpOp
 from repro.sched.controller import MemoryController
 from repro.sim.engine import Engine
 from repro.sim.report import L2Summary, SimReport
+from repro.sim.spec import SimSpec
 from repro.telemetry.hub import NULL_HUB, MetricsHub
 from repro.telemetry.sampler import WindowSeries
 from repro.vp.predictor import make_predictor
@@ -91,6 +92,29 @@ class GPUSystem:
         )
         self.frontend: Optional[GPUFrontend] = None
         self.engine.diagnostics = self._deadlock_snapshot
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: SimSpec,
+        *,
+        log_commands: bool = False,
+        telemetry: Optional[MetricsHub] = None,
+    ) -> "GPUSystem":
+        """Assemble a system from a :class:`~repro.sim.spec.SimSpec`.
+
+        The spec's device (when named) is resolved onto its GPU config;
+        ``spec.telemetry`` creates a fresh hub unless one is passed in.
+        """
+        if telemetry is None and spec.telemetry:
+            telemetry = MetricsHub()
+        return cls(
+            config=spec.resolve_config(),
+            scheduler=spec.scheduler,
+            record_activations=spec.record_activations,
+            log_commands=log_commands,
+            telemetry=telemetry,
+        )
 
     def _deadlock_snapshot(self) -> str:
         """Per-controller queue state for the engine's livelock error.
@@ -230,9 +254,18 @@ class GPUSystem:
         self.engine.run(max_events=max_events)
         if not self.frontend.all_finished:
             stuck = self.frontend.unfinished()
+            # Attach the same diagnostics snapshot the max_events
+            # overflow gets, so a drained-but-stuck cell in a failure
+            # manifest shows where its requests sit. The snapshot must
+            # never mask the primary error.
+            try:
+                snapshot = f" [{self._deadlock_snapshot()}]"
+            except Exception:
+                snapshot = ""
             raise SimulationError(
                 f"simulation drained with {len(stuck)} unfinished warps "
                 f"(first: warp {stuck[0].warp_id}, state {stuck[0].state})"
+                f"{snapshot}"
             )
         for channel in self.channels:
             channel.finalize()
@@ -271,34 +304,56 @@ class GPUSystem:
         )
 
 
-def simulate(
+def simulate_spec(
     workload: "Workload",
+    spec: SimSpec,
     *,
-    scheduler: Optional[SchedulerConfig] = None,
-    config: Optional[GPUConfig] = None,
-    record_activations: bool = True,
-    measure_error: bool = False,
     telemetry: Optional[MetricsHub] = None,
 ) -> SimReport:
-    """Simulate ``workload`` under ``scheduler`` on the Table I GPU.
+    """Simulate ``workload`` as described by ``spec`` — the primary
+    entry point.
 
-    With ``measure_error=True`` the AMS drop log is replayed through the
+    With ``spec.measure_error`` the AMS drop log is replayed through the
     workload's kernel (values substituted by the VP's donor lines) and
-    ``report.application_error`` is filled in. With a ``telemetry`` hub
-    attached, ``report.timeline`` carries the per-window series.
+    ``report.application_error`` is filled in. With a telemetry hub
+    (``spec.telemetry`` or an explicit ``telemetry=``),
+    ``report.timeline`` carries the per-window series.
     """
-    system = GPUSystem(
-        config=config,
-        scheduler=scheduler,
-        record_activations=record_activations,
-        telemetry=telemetry,
-    )
+    system = GPUSystem.from_spec(spec, telemetry=telemetry)
     streams = workload.warp_streams(system.config)
     report = system.run(streams, workload_name=workload.name)
-    if measure_error:
+    if spec.measure_error:
         from repro.approx.replay import measure_application_error
 
         report.application_error = measure_application_error(
             workload, report.drops, config=system.config
         )
     return report
+
+
+def simulate(
+    workload: "Workload",
+    *,
+    scheduler: Optional[SchedulerConfig] = None,
+    config: Optional[GPUConfig] = None,
+    device: Optional[str] = None,
+    record_activations: bool = True,
+    measure_error: bool = False,
+    telemetry: Optional[MetricsHub] = None,
+) -> SimReport:
+    """Simulate ``workload`` under ``scheduler`` on the Table I GPU.
+
+    Compatibility shim over :func:`simulate_spec`, kept for the
+    pre-:class:`SimSpec` call sites (deprecated; new code should build a
+    :class:`~repro.sim.spec.SimSpec` and call :func:`simulate_spec`).
+    The keyword arguments map one-to-one onto spec fields and behaviour
+    is identical.
+    """
+    spec = SimSpec(
+        scheduler=scheduler if scheduler is not None else baseline_scheduler(),
+        device=device,
+        config=config,
+        measure_error=measure_error,
+        record_activations=record_activations,
+    )
+    return simulate_spec(workload, spec, telemetry=telemetry)

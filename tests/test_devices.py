@@ -1,0 +1,175 @@
+"""DRAM device-model registry, invariant, and end-to-end tests.
+
+The validation invariants (tRC >= tRAS + tRP, positive per-operation
+energies, positive clock) are checked two ways: directly on every
+registered preset, and property-based via Hypothesis on synthesized
+models, so :meth:`DeviceModel.validate` provably *enforces* them rather
+than merely happening to hold for the shipped presets.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.energy import DRAMEnergyParams
+from repro.config.gpu import GPUConfig
+from repro.config.timing import DRAMTimings
+from repro.dram.devices import (
+    DeviceModel,
+    device_names,
+    get_device,
+    gddr5_device,
+    register_device,
+)
+from repro.errors import ConfigError
+
+PRESETS = device_names()
+
+
+class TestPresets:
+    def test_expected_presets_registered(self) -> None:
+        assert {"gddr5", "gddr5x", "hbm", "lpddr4"} <= set(PRESETS)
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_every_preset_validates(self, name: str) -> None:
+        get_device(name).validate()
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_timing_invariants(self, name: str) -> None:
+        tm = get_device(name).timings
+        assert tm.tRC >= tm.tRAS + tm.tRP
+        assert tm.tRAS >= tm.tRCD
+        assert tm.tREFI > tm.tRFC
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_energy_and_clock_invariants(self, name: str) -> None:
+        device = get_device(name)
+        e = device.energy
+        assert e.e_act_nj > 0 and e.e_rd_nj > 0 and e.e_wr_nj > 0
+        assert e.background_mw >= 0
+        assert 0.0 < e.baseline_row_energy_fraction < 1.0
+        assert device.mem_clock_mhz > 0
+        assert device.row_cycle_ns > 0
+        assert device.activation_energy_nj == e.e_act_nj
+
+    def test_gddr5_matches_package_defaults(self) -> None:
+        """The baseline preset must be the Table I defaults bit for bit —
+        the differential tests lean on this."""
+        device = get_device("gddr5")
+        assert device.timings == DRAMTimings()
+        assert device.energy == DRAMEnergyParams()
+        assert device.mem_clock_mhz == GPUConfig().mem_clock_mhz
+        assert device.apply(GPUConfig()) == GPUConfig()
+
+    def test_apply_preserves_non_device_fields(self) -> None:
+        base = dataclasses.replace(
+            GPUConfig(), num_sms=4, pending_queue_size=32
+        )
+        applied = get_device("hbm").apply(base)
+        assert applied.num_sms == 4
+        assert applied.pending_queue_size == 32
+        assert applied.timings == get_device("hbm").timings
+        assert applied.energy == get_device("hbm").energy
+        assert applied.mem_clock_mhz == get_device("hbm").mem_clock_mhz
+
+    def test_apply_without_config_uses_defaults(self) -> None:
+        applied = get_device("lpddr4").apply()
+        assert applied.num_sms == GPUConfig().num_sms
+        assert applied.timings == get_device("lpddr4").timings
+
+
+class TestRegistry:
+    def test_unknown_device_raises_and_lists_names(self) -> None:
+        with pytest.raises(ConfigError, match="gddr5"):
+            get_device("ddr3")
+
+    def test_register_rejects_invalid_model(self) -> None:
+        bad = DeviceModel(
+            name="broken",
+            timings=DRAMTimings(tRC=10),  # < tRAS + tRP
+            energy=DRAMEnergyParams(),
+            mem_clock_mhz=1000.0,
+        )
+        with pytest.raises(ConfigError):
+            register_device(bad)
+        assert "broken" not in device_names()
+
+    def test_register_rejects_nonpositive_clock(self) -> None:
+        bad = dataclasses.replace(gddr5_device(), name="x", mem_clock_mhz=0.0)
+        with pytest.raises(ConfigError, match="mem_clock_mhz"):
+            register_device(bad)
+
+    def test_register_and_lookup_roundtrip(self) -> None:
+        from repro.dram import devices as devices_mod
+
+        custom = dataclasses.replace(gddr5_device(), name="test-custom")
+        try:
+            assert register_device(custom) is custom
+            assert get_device("test-custom") is custom
+            assert "test-custom" in device_names()
+        finally:
+            devices_mod._DEVICES.pop("test-custom", None)
+
+
+class TestValidateEnforcesInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        tras=st.integers(min_value=1, max_value=64),
+        trp=st.integers(min_value=1, max_value=64),
+        trc=st.integers(min_value=1, max_value=160),
+    )
+    def test_row_cycle_inequality(self, tras: int, trp: int, trc: int) -> None:
+        timings = DRAMTimings(tRCD=1, tRP=trp, tRC=trc, tRAS=tras)
+        device = DeviceModel(
+            name="hyp", timings=timings, energy=DRAMEnergyParams(),
+            mem_clock_mhz=924.0,
+        )
+        if trc >= tras + trp:
+            device.validate()
+        else:
+            with pytest.raises(ConfigError):
+                device.validate()
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        e_act=st.floats(
+            min_value=-2.0, max_value=5.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+        clock=st.floats(
+            min_value=-100.0, max_value=2000.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+    )
+    def test_positive_energy_and_clock(self, e_act: float,
+                                       clock: float) -> None:
+        device = DeviceModel(
+            name="hyp",
+            timings=DRAMTimings(),
+            energy=dataclasses.replace(DRAMEnergyParams(), e_act_nj=e_act),
+            mem_clock_mhz=clock,
+        )
+        if e_act > 0 and clock > 0:
+            device.validate()
+        else:
+            with pytest.raises(ConfigError):
+                device.validate()
+
+
+@pytest.mark.parametrize("name", PRESETS)
+def test_preset_simulates_end_to_end(name: str) -> None:
+    """Every preset must carry a tiny simulation to completion with a
+    sane report — the local twin of the CI device smoke matrix."""
+    from repro.dram.request import reset_request_ids
+    from repro.sim.spec import SimSpec
+    from repro.sim.system import simulate_spec
+    from repro.workloads.registry import get_workload
+
+    reset_request_ids()
+    workload = get_workload("synthetic", scale=0.125, seed=3)
+    report = simulate_spec(workload, SimSpec(device=name))
+    assert report.activations > 0
+    assert report.ipc > 0
+    assert report.row_energy_nj > 0

@@ -114,6 +114,69 @@ class TestCapacityAndIngress:
         assert sorted(q.banks_with_pending()) == [2, 7]
 
 
+class TestDiagnosticsSnapshots:
+    """Edge cases of the diagnostics queries the engine's livelock
+    report and the controller's deadlock snapshot lean on."""
+
+    def test_empty_queue(self) -> None:
+        q = PendingQueue(4, 16)
+        assert q.pending_per_bank() == {}
+        assert q.ingress_backlog == 0
+        assert list(q.banks_with_pending()) == []
+        assert q.empty
+
+    def test_all_same_bank(self) -> None:
+        q = PendingQueue(8, 16)
+        for i in range(5):
+            q.offer(make_request(bank=3, row=i), float(i))
+        assert q.pending_per_bank() == {3: 5}
+        assert list(q.banks_with_pending()) == [3]
+
+    def test_deferred_requests_not_counted(self) -> None:
+        # Only *visible* requests appear in the snapshot; the ingress
+        # FIFO contributes to ingress_backlog instead.
+        q = PendingQueue(2, 16)
+        for i in range(5):
+            q.offer(make_request(bank=0, row=i), float(i))
+        assert q.pending_per_bank() == {0: 2}
+        assert q.ingress_backlog == 3
+
+    def test_snapshot_safe_to_iterate_while_draining(self) -> None:
+        # pending_per_bank copies the counts, so removing requests while
+        # iterating the snapshot must neither skip banks nor blow up.
+        q = PendingQueue(8, 16)
+        for bank in (0, 2, 5):
+            for i in range(2):
+                q.offer(make_request(bank=bank, row=i), float(i))
+        snapshot = q.pending_per_bank()
+        t = 100.0
+        for bank, count in snapshot.items():
+            for _ in range(count):
+                q.remove(q.oldest_for_bank(bank), t)
+                t += 1.0
+                q.check_invariants()
+        assert q.empty
+        assert q.pending_per_bank() == {}
+        # The original snapshot is untouched by the drain.
+        assert snapshot == {0: 2, 2: 2, 5: 2}
+
+    def test_ingress_backlog_drains_through_removals(self) -> None:
+        q = PendingQueue(1, 16)
+        reqs = [make_request(bank=0, row=i) for i in range(3)]
+        for i, r in enumerate(reqs):
+            q.offer(r, float(i))
+        backlogs = [q.ingress_backlog]
+        now = 10.0
+        while not q.empty:
+            q.remove(q.oldest_for_bank(0), now)
+            backlogs.append(q.ingress_backlog)
+            now += 1.0
+            q.check_invariants()
+        # 2 deferred at the start, admitted one per removal, never negative.
+        assert backlogs == [2, 1, 0, 0]
+        assert q.total_deferred == 2
+
+
 @settings(max_examples=200, deadline=None)
 @given(
     ops=st.lists(

@@ -1,0 +1,156 @@
+"""SimSpec serialisation, config codec, and cache-v3 key tests."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config.codec import decode, decode_optional, encode
+from repro.config.gpu import GPUConfig
+from repro.config.scheduler import (
+    AMSConfig,
+    AMSMode,
+    DMSConfig,
+    DMSMode,
+    SchedulerConfig,
+)
+from repro.errors import ConfigError
+from repro.harness.cache import CACHE_FORMAT_VERSION, ResultCache, cache_key
+from repro.sim.report import SimReport
+from repro.sim.spec import SimSpec
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "seed_reports.json"
+
+
+def fancy_spec() -> SimSpec:
+    """A spec with every field away from its default."""
+    return SimSpec(
+        scheduler=SchedulerConfig(
+            arbiter="frfcfs-cap",
+            hit_streak_cap=2,
+            dms=DMSConfig(mode=DMSMode.DYNAMIC, window_cycles=512),
+            ams=AMSConfig(mode=AMSMode.STATIC, static_th_rbl=4),
+        ),
+        device="hbm",
+        config=dataclasses.replace(GPUConfig(), num_sms=8),
+        measure_error=True,
+        record_activations=False,
+        telemetry=True,
+    )
+
+
+class TestCodec:
+    def test_enum_fields_encode_to_values(self) -> None:
+        payload = encode(DMSConfig(mode=DMSMode.STATIC))
+        assert payload["mode"] == "static"
+
+    def test_round_trip_nested_dataclass(self) -> None:
+        original = fancy_spec().scheduler
+        assert decode(SchedulerConfig, encode(original)) == original
+
+    def test_unknown_keys_rejected(self) -> None:
+        with pytest.raises(ConfigError, match="bogus"):
+            decode(DMSConfig, {"bogus": 1})
+
+    def test_missing_keys_use_defaults(self) -> None:
+        cfg = decode(DMSConfig, {"mode": "dynamic"})
+        assert cfg.mode is DMSMode.DYNAMIC
+        assert cfg.window_cycles == DMSConfig().window_cycles
+
+    def test_decode_optional_passes_none(self) -> None:
+        assert decode_optional(GPUConfig, None) is None
+
+
+class TestSimSpec:
+    def test_round_trip_is_lossless(self) -> None:
+        spec = fancy_spec()
+        rebuilt = SimSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+
+    def test_round_trip_survives_json(self) -> None:
+        spec = fancy_spec()
+        rebuilt = SimSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_default_round_trip(self) -> None:
+        assert SimSpec.from_dict(SimSpec().to_dict()) == SimSpec()
+
+    def test_from_dict_rejects_non_dict(self) -> None:
+        with pytest.raises(ConfigError, match="dict"):
+            SimSpec.from_dict(["not", "a", "dict"])
+
+    def test_resolve_without_device_returns_config_unchanged(self) -> None:
+        custom = dataclasses.replace(GPUConfig(), num_sms=8)
+        assert SimSpec(config=custom).resolve_config() is custom
+        assert SimSpec().resolve_config() == GPUConfig()
+
+    def test_resolve_with_device_overlays_timings(self) -> None:
+        from repro.dram.devices import get_device
+
+        custom = dataclasses.replace(GPUConfig(), num_sms=8)
+        resolved = SimSpec(config=custom, device="hbm").resolve_config()
+        assert resolved.num_sms == 8
+        assert resolved.timings == get_device("hbm").timings
+        assert resolved.mem_clock_mhz == get_device("hbm").mem_clock_mhz
+
+    def test_validate_rejects_unknown_device(self) -> None:
+        with pytest.raises(ConfigError, match="unknown DRAM device"):
+            SimSpec(device="ddr3").validate()
+
+    def test_validate_rejects_unknown_arbiter(self) -> None:
+        with pytest.raises(ConfigError, match="arbiter"):
+            SimSpec(scheduler=SchedulerConfig(arbiter="lifo")).validate()
+
+
+class TestCacheV3:
+    def test_format_version_is_3(self) -> None:
+        assert CACHE_FORMAT_VERSION == 3
+
+    def base_key(self, **overrides) -> str:
+        kwargs = dict(
+            app="synthetic", scale=0.25, seed=11,
+            scheduler=SchedulerConfig(),
+        )
+        kwargs.update(overrides)
+        return cache_key(**kwargs)
+
+    def test_device_is_part_of_the_key(self) -> None:
+        # A named device must not collide with the bare default, even
+        # for gddr5 where the resolved configs are identical.
+        assert self.base_key() != self.base_key(device="gddr5")
+        assert self.base_key(device="gddr5") != self.base_key(device="hbm")
+
+    def test_selector_fields_are_part_of_the_key(self) -> None:
+        assert self.base_key() != self.base_key(
+            scheduler=SchedulerConfig(arbiter="fcfs")
+        )
+        assert self.base_key(
+            scheduler=SchedulerConfig(arbiter="frfcfs-cap", hit_streak_cap=2)
+        ) != self.base_key(
+            scheduler=SchedulerConfig(arbiter="frfcfs-cap", hit_streak_cap=4)
+        )
+
+    def test_old_format_version_key_differs(self) -> None:
+        assert self.base_key() != self.base_key(
+            version=CACHE_FORMAT_VERSION - 1
+        )
+
+    def test_previous_format_blob_is_a_miss(self, tmp_path) -> None:
+        # A v2 blob written by the previous build must be a plain miss —
+        # not an error and not quarantined (the blob is healthy).
+        report = SimReport.from_dict(
+            json.loads(GOLDEN.read_text(encoding="utf-8"))
+                ["reports"]["frfcfs"]
+        )
+        cache = ResultCache(tmp_path, enabled=True)
+        key = self.base_key()
+        path = cache.store(key, report)
+        assert cache.load(key) is not None
+
+        blob = json.loads(path.read_text(encoding="utf-8"))
+        blob["format_version"] = CACHE_FORMAT_VERSION - 1
+        path.write_text(json.dumps(blob), encoding="utf-8")
+        assert cache.load(key) is None
+        assert cache.quarantined == 0
+        assert path.exists()  # kept on disk: healthy, just older
