@@ -1,0 +1,171 @@
+"""Service daemon throughput: cache-hit requests per second.
+
+The daemon's cheap path — a submission whose content key is already in
+the persistent result cache — never touches the worker pool: admission
+probes the cache on the event loop and answers ``200 cached`` with the
+full report attached. This benchmark measures that path end-to-end
+(HTTP parse, admission, journal append, JSON response) because it
+bounds how fast a sweep script can drain a warmed cache through the
+service instead of importing the Runner directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_rps.py
+    PYTHONPATH=src python benchmarks/bench_service_rps.py \
+        --requests 500 --clients 8 --out BENCH_service_rps.json
+
+The JSON records, per client count: requests issued, wall seconds, and
+requests/sec, plus the status-endpoint RPS for comparison (no journal
+write, no cache probe). Run under pytest it doubles as a smoke test
+(few requests, no JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceDaemon
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_service_rps.json"
+
+#: Tiny but real simulation used to prime the cache once.
+APP = "synthetic"
+SCALE = 0.05
+SEED = 7
+
+
+def _start_daemon(root: Path) -> ServiceDaemon:
+    daemon = ServiceDaemon(
+        port=0,
+        workers=1,
+        cache=ResultCache(root / "cache", enabled=True),
+        journal_path=root / "journal.jsonl",
+        verbose=False,
+    )
+    daemon.start_in_thread()
+    return daemon
+
+
+def _prime(daemon: ServiceDaemon) -> None:
+    """Run the one real simulation whose result every request rereads."""
+    client = ServiceClient(port=daemon.port)
+    job = client.submit(APP, scale=SCALE, seed=SEED)
+    client.wait_for_report(job["id"], timeout=300)
+
+
+def measure_cached_rps(
+    daemon: ServiceDaemon, *, requests: int, clients: int
+) -> dict:
+    """Issue ``requests`` warm submissions across ``clients`` threads."""
+
+    def one_client(count: int) -> int:
+        client = ServiceClient(port=daemon.port)
+        served = 0
+        for _ in range(count):
+            job = client.submit(APP, scale=SCALE, seed=SEED)
+            assert job["outcome"] == "cached", job
+            served += 1
+        return served
+
+    share = [requests // clients] * clients
+    for i in range(requests % clients):
+        share[i] += 1
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+        total = sum(pool.map(one_client, share))
+    elapsed = time.perf_counter() - start
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": elapsed,
+        "rps": total / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def measure_status_rps(daemon: ServiceDaemon, *, requests: int) -> dict:
+    """Healthz round trips: the protocol floor (no cache, no journal)."""
+    client = ServiceClient(port=daemon.port)
+    start = time.perf_counter()
+    for _ in range(requests):
+        client.healthz()
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": requests,
+        "wall_seconds": elapsed,
+        "rps": requests / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_benchmark(
+    *, requests: int, client_counts: tuple[int, ...]
+) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        daemon = _start_daemon(Path(tmp))
+        try:
+            _prime(daemon)
+            cached = [
+                measure_cached_rps(
+                    daemon, requests=requests, clients=n
+                )
+                for n in client_counts
+            ]
+            status = measure_status_rps(daemon, requests=requests)
+            counters = daemon.hub.snapshot()["counters"]
+        finally:
+            daemon.stop()
+    return {
+        "benchmark": "service_cache_hit_rps",
+        "app": APP,
+        "scale": SCALE,
+        "seed": SEED,
+        "cached_submit": cached,
+        "healthz": status,
+        "simulations_run": counters.get("service.simulations", 0.0),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--clients", default="1,4",
+        help="comma-separated concurrent client counts (default 1,4)",
+    )
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+    client_counts = tuple(
+        int(n) for n in args.clients.split(",") if n.strip()
+    )
+    doc = run_benchmark(
+        requests=args.requests, client_counts=client_counts
+    )
+    for row in doc["cached_submit"]:
+        print(
+            f"cached submit x{row['clients']} clients: "
+            f"{row['rps']:8.1f} req/s "
+            f"({row['requests']} in {row['wall_seconds']:.2f}s)"
+        )
+    print(f"healthz floor: {doc['healthz']['rps']:8.1f} req/s")
+    assert doc["simulations_run"] == 1.0, doc["simulations_run"]
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_service_rps_smoke(tmp_path):
+    """Pytest entry: a handful of warm requests, exactly one sim."""
+    doc = run_benchmark(requests=10, client_counts=(2,))
+    assert doc["simulations_run"] == 1.0
+    assert doc["cached_submit"][0]["requests"] == 10
+    assert doc["cached_submit"][0]["rps"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

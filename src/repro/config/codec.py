@@ -60,39 +60,70 @@ def _strip_optional(hint: Any) -> Any:
     return hint
 
 
-def _decode_value(hint: Any, data: Any) -> Any:
+def _join(path: str, key: str) -> str:
+    """Extend a dotted key path (``"scheduler" + "dms" -> "scheduler.dms"``)."""
+    return f"{path}.{key}" if path else key
+
+
+def _at(path: str) -> str:
+    """Human form of a key path for error messages."""
+    return f" at {path!r}" if path else ""
+
+
+def _decode_value(hint: Any, data: Any, path: str = "") -> Any:
     if data is None:
         return None
     hint = _strip_optional(hint)
     if isinstance(hint, type):
         if dataclasses.is_dataclass(hint):
-            return decode(hint, data)
+            return decode(hint, data, path=path)
         if issubclass(hint, enum.Enum):
-            return hint(data)
+            try:
+                return hint(data)
+            except ValueError:
+                valid = ", ".join(repr(m.value) for m in hint)
+                raise ConfigError(
+                    f"invalid {hint.__name__}{_at(path)}: {data!r} "
+                    f"(valid: {valid})"
+                ) from None
         if hint is float and isinstance(data, int):
             return float(data)
+        if hint in (int, float, str, bool) and not isinstance(data, hint):
+            raise ConfigError(
+                f"wrong type{_at(path)}: expected {hint.__name__}, "
+                f"got {type(data).__name__} ({data!r})"
+            )
     origin = typing.get_origin(hint)
     if origin in (list, tuple) and isinstance(data, list):
         args = typing.get_args(hint)
         item_hint = args[0] if args else Any
-        items = [_decode_value(item_hint, item) for item in data]
+        items = [
+            _decode_value(item_hint, item, f"{path}[{i}]")
+            for i, item in enumerate(data)
+        ]
         return tuple(items) if origin is tuple else items
     return data
 
 
-def decode(cls: type[T], data: Any) -> T:
+def decode(cls: type[T], data: Any, *, path: str = "") -> T:
     """Rebuild a dataclass ``cls`` from :func:`encode` output.
 
     Unknown keys in ``data`` are rejected (they signal a payload from a
     newer schema — silently dropping them would decode to a *different*
     configuration than the one stored); missing keys fall back to the
-    dataclass defaults.
+    dataclass defaults. Every :class:`ConfigError` raised below names
+    the full dotted key path of the offending value (``path`` seeds the
+    prefix — e.g. ``"scheduler"`` when decoding the scheduler subtree of
+    a :class:`~repro.sim.spec.SimSpec` wire payload), so a client
+    submitting a malformed nested payload is told *which* key to fix,
+    not just which dataclass choked.
     """
     if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
         raise ConfigError(f"decode target must be a dataclass, got {cls!r}")
     if not isinstance(data, dict):
         raise ConfigError(
-            f"cannot decode {cls.__name__} from {type(data).__name__}"
+            f"cannot decode {cls.__name__}{_at(path)} from "
+            f"{type(data).__name__} ({data!r})"
         )
     hints = typing.get_type_hints(cls)
     known = {f.name for f in dataclasses.fields(cls)}
@@ -100,17 +131,19 @@ def decode(cls: type[T], data: Any) -> T:
     if unknown:
         raise ConfigError(
             f"unknown {cls.__name__} field(s) in payload: "
-            + ", ".join(sorted(unknown))
+            + ", ".join(_join(path, k) for k in sorted(unknown))
         )
     kwargs = {
-        name: _decode_value(hints.get(name, Any), value)
+        name: _decode_value(hints.get(name, Any), value, _join(path, name))
         for name, value in data.items()
     }
     return cls(**kwargs)
 
 
-def decode_optional(cls: type[T], data: Any) -> Optional[T]:
+def decode_optional(
+    cls: type[T], data: Any, *, path: str = ""
+) -> Optional[T]:
     """Like :func:`decode` but maps ``None`` through."""
     if data is None:
         return None
-    return decode(cls, data)
+    return decode(cls, data, path=path)

@@ -49,6 +49,32 @@ class CellTimeoutError(HarnessError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for simulation-service (daemon/client/queue) failures."""
+
+
+class JobStateError(ServiceError):
+    """An illegal job-lifecycle transition was attempted.
+
+    The service state machine only permits
+    ``queued -> running -> done|failed`` plus cancellation of
+    not-yet-terminal jobs (and direct ``queued -> done`` for cache hits
+    and coalesced followers); anything else is a daemon bug, not a user
+    error.
+    """
+
+
+class ServiceBusyError(ServiceError):
+    """The daemon's job queue is full (HTTP 429 on the wire).
+
+    ``retry_after`` carries the server's backoff hint in seconds.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class WorkerCrashError(HarnessError):
     """A pool worker process died while simulating a matrix cell.
 

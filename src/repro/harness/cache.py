@@ -268,6 +268,37 @@ class ResultCache:
                 continue
         return total
 
+    def info(self) -> dict:
+        """Machine-readable snapshot of the cache (one atomic listing).
+
+        ``entries`` and ``size_bytes`` are derived from a *single*
+        :meth:`entries` walk, so they describe the same instant even
+        when another process is storing or clearing concurrently —
+        calling :meth:`entries` and :meth:`size_bytes` separately could
+        report a count and a byte total from two different cache states.
+        Session counters (hits/misses/stores/quarantined) describe this
+        process's cache object, not the directory.
+        """
+        total = 0
+        count = 0
+        for path in self.entries():
+            count += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "format_version": CACHE_FORMAT_VERSION,
+            "entries": count,
+            "size_bytes": total,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
+
     def clear(self) -> int:
         """Delete every cached blob; returns the number removed."""
         removed = 0

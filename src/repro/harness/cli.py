@@ -10,6 +10,10 @@ Examples::
     repro-harness trace Dyn-DMS SCP --scale 0.5 --out-dir traces
     repro-harness table --device hbm --schemes frfcfs,fcfs,frfcfs-cap
     repro-harness matrix --devices gddr5,hbm --apps SCP
+    repro-harness serve --port 8732 --workers 2
+    repro-harness submit SCP --scheme dyn-dms --telemetry --wait
+    repro-harness status j0123456789ab --json
+    repro-harness watch j0123456789ab
     python -m repro.harness.cli table2
 """
 
@@ -58,17 +62,28 @@ def _cache_main(argv: list[str]) -> int:
         default=None,
         help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the info snapshot as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
     cache = ResultCache(args.dir, enabled=True)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
     else:
-        entries = cache.entries()
-        print(
-            f"{cache.root}: {len(entries)} cached result(s), "
-            f"{cache.size_bytes() / 1e6:.2f} MB"
-        )
+        # One atomic snapshot: entry count and byte total describe the
+        # same listing even while another process mutates the cache.
+        info = cache.info()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{info['root']}: {info['entries']} cached result(s), "
+                f"{info['size_bytes'] / 1e6:.2f} MB "
+                f"(format v{info['format_version']})"
+            )
     return 0
 
 
@@ -346,6 +361,315 @@ def _matrix_main(argv: list[str]) -> int:
     return exit_code
 
 
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Host/port options shared by the service client subcommands."""
+    from repro.service.server import DEFAULT_PORT
+
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon host to contact"
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"daemon port (default {DEFAULT_PORT})",
+    )
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``repro-harness serve`` subcommand: run the job daemon."""
+    from repro.service.server import (
+        DEFAULT_JOURNAL,
+        DEFAULT_PORT,
+        ServiceDaemon,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description=(
+            "Run the simulation-as-a-service daemon: accepts JSON "
+            "SimSpec jobs over HTTP, coalesces duplicates, serves warm "
+            "results from the persistent cache, and streams per-window "
+            "telemetry over SSE."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port, 0 = pick a free one (default {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent simulation workers (default 2)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded queue depth before 429 backpressure (default 64)",
+    )
+    parser.add_argument(
+        "--journal", default=DEFAULT_JOURNAL, metavar="PATH",
+        help="JSONL job journal for restart recovery "
+        f"(default {DEFAULT_JOURNAL})",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent result cache",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failing job (default 1)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill any non-telemetry job attempt exceeding this "
+        "wall-clock bound (supervised pool)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="CYCLES",
+        help="telemetry window for streaming jobs (default: harness "
+        "profiling window)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress daemon logging"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.queue_size < 1:
+        parser.error("--queue-size must be >= 1")
+    daemon = ServiceDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache=ResultCache(args.cache_dir, enabled=not args.no_cache),
+        journal_path=args.journal,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        window_cycles=args.window or WINDOW_CYCLES,
+        verbose=not args.quiet,
+    )
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _submit_main(argv: list[str]) -> int:
+    """The ``repro-harness submit`` subcommand: one job over HTTP."""
+    from repro.errors import ServiceBusyError, ServiceError
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness submit",
+        description="Submit one (workload, scheme) job to a running "
+        "repro-harness daemon.",
+    )
+    parser.add_argument(
+        "workload",
+        help="Table II application abbreviation (e.g. SCP) or "
+        "'synthetic'",
+    )
+    parser.add_argument(
+        "--scheme", default="frfcfs",
+        help="scheme id from the catalogue "
+        f"({', '.join(scheme_ids())}; default frfcfs)",
+    )
+    parser.add_argument(
+        "--device", default=None, choices=device_names(),
+        help="DRAM device preset (default: config-embedded GDDR5)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload data/trace seed"
+    )
+    parser.add_argument(
+        "--priority", type=int, default=0,
+        help="larger runs earlier (default 0)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="run with windowed telemetry (enables live SSE windows)",
+    )
+    parser.add_argument(
+        "--measure-error", action="store_true",
+        help="replay AMS drops through the kernel and report the "
+        "application error",
+    )
+    parser.add_argument(
+        "--retry-busy", type=int, default=0, metavar="N",
+        help="on 429, retry up to N times honouring Retry-After",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        definition = scheme_def(args.scheme)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    from repro.sim.spec import SimSpec
+
+    spec = SimSpec(
+        scheduler=definition.build(),
+        device=args.device,
+        measure_error=args.measure_error,
+        telemetry=args.telemetry,
+    )
+    client = ServiceClient(args.host, args.port)
+    try:
+        job = client.submit(
+            args.workload,
+            spec=spec,
+            scale=args.scale,
+            seed=args.seed,
+            priority=args.priority,
+            retry_busy=args.retry_busy,
+        )
+    except ServiceBusyError as exc:
+        print(
+            f"queue full; retry in {exc.retry_after:.0f}s",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    except (ConfigError, ServiceError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    print(
+        f"{job['id']}  {job['outcome']}  state={job['state']}"
+    )
+    if not args.wait:
+        return EXIT_OK
+    try:
+        report = client.wait_for_report(
+            job["id"], timeout=args.timeout
+        )
+    except (ServiceError, TimeoutError) as exc:
+        print(f"{exc}", file=sys.stderr)
+        return EXIT_FAILED
+    print(report.summary())
+    return EXIT_OK
+
+
+def _status_main(argv: list[str]) -> int:
+    """The ``repro-harness status [JOB_ID]`` subcommand."""
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness status",
+        description="Show a job's status, or (without an id) the "
+        "daemon's health and stats.",
+    )
+    parser.add_argument(
+        "job_id", nargs="?", default=None, help="job id from submit"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw JSON document",
+    )
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.job_id is None:
+            doc = {
+                "healthz": client.healthz(),
+                "stats": client.stats(),
+            }
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                health = doc["healthz"]
+                stats = doc["stats"]
+                print(
+                    f"serving={health['serving']} "
+                    f"queued={health['queued']} "
+                    f"running={health['running']} "
+                    f"uptime={health['uptime_seconds']:.0f}s"
+                )
+                for name, value in stats["service"]["counters"].items():
+                    print(f"  {name} = {value:g}")
+            return EXIT_OK
+        doc = client.job(args.job_id)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            line = (
+                f"{doc['id']}  {doc['state']}  app={doc['app']} "
+                f"attempts={doc['attempts']} cached={doc['cached']}"
+            )
+            if doc.get("coalesced_into"):
+                line += f" coalesced_into={doc['coalesced_into']}"
+            print(line)
+            if doc.get("error"):
+                print(
+                    f"  error: {doc['error'].get('error_type')}: "
+                    f"{doc['error'].get('message')}"
+                )
+        return EXIT_OK
+    except (ServiceError, OSError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+
+
+def _watch_main(argv: list[str]) -> int:
+    """The ``repro-harness watch JOB_ID`` subcommand: follow SSE."""
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness watch",
+        description="Stream a job's per-window telemetry (SSE) until "
+        "it finishes.",
+    )
+    parser.add_argument("job_id", help="job id from submit")
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="stream read timeout in seconds",
+    )
+    _add_endpoint_arguments(parser)
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.host, args.port)
+    try:
+        for event, data in client.events(
+            args.job_id, timeout=args.timeout
+        ):
+            if event == "window" and isinstance(data, dict):
+                dms_x = ",".join(f"{x:g}" for x in data.get("dms_x", []))
+                th = ",".join(str(t) for t in data.get("th_rbl", []))
+                print(
+                    f"window {data.get('index'):>4}  "
+                    f"bwutil={data.get('bwutil', 0.0):.3f}  "
+                    f"acts={data.get('activations', 0):>6}  "
+                    f"drops={data.get('drops', 0):>5}  "
+                    f"X=[{dms_x}]  Th_RBL=[{th}]"
+                )
+            elif event == "state" and isinstance(data, dict):
+                print(f"state: {data.get('state')}")
+            else:
+                print(f"{event}: {json.dumps(data)}")
+    except (ServiceError, OSError) as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or ``all``) and print its tables."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -357,6 +681,14 @@ def main(argv: list[str] | None = None) -> int:
         return _table_main(argv[1:])
     if argv and argv[0] == "matrix":
         return _matrix_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
+    if argv and argv[0] == "watch":
+        return _watch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description=(

@@ -1,0 +1,41 @@
+"""Simulation-as-a-service: the long-lived serving surface of the repo.
+
+Everything below this package turns one-shot CLI experiments into a
+multi-tenant daemon (``repro-harness serve``) that accepts JSON-encoded
+:class:`~repro.sim.spec.SimSpec` jobs over HTTP:
+
+* :mod:`repro.service.jobs` — the job lifecycle state machine
+  (``queued -> running -> done|failed|cancelled``) and the JSONL journal
+  that lets a restarted daemon recover its queue and history;
+* :mod:`repro.service.queue` — the bounded priority queue with
+  cache-first admission, request coalescing (concurrent identical specs
+  attach to one in-flight simulation), and 429 backpressure;
+* :mod:`repro.service.server` — the stdlib-only asyncio HTTP daemon:
+  ``POST /v1/jobs``, ``GET /v1/jobs/<id>``, an SSE stream of per-window
+  telemetry at ``GET /v1/jobs/<id>/events``, plus ``/v1/healthz`` and
+  ``/v1/stats``;
+* :mod:`repro.service.client` — :class:`ServiceClient` and the
+  ``repro-harness submit|status|watch`` plumbing.
+
+The daemon deliberately owns no new simulation semantics: execution
+reuses the harness :class:`~repro.harness.runner.Runner` (retries,
+backoff, supervised timeouts), results flow through the persistent
+:class:`~repro.harness.cache.ResultCache`, and wire payloads round-trip
+through :mod:`repro.config.codec` — the service is a thin, recoverable
+queue in front of machinery every CLI run already trusts.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobJournal, JobState
+from repro.service.queue import JobQueue, QueueFullError
+from repro.service.server import ServiceDaemon
+
+__all__ = [
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "JobState",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceDaemon",
+]

@@ -1,0 +1,274 @@
+"""Client for the simulation-service daemon (stdlib ``http.client``).
+
+:class:`ServiceClient` speaks the small JSON protocol of
+:mod:`repro.service.server`: submit :class:`~repro.sim.spec.SimSpec`
+jobs, poll status, block until done, iterate the SSE telemetry stream,
+and read service stats. It backs the ``repro-harness submit|status|watch``
+subcommands and is the programmatic surface sweep scripts use::
+
+    from repro.service import ServiceClient
+    from repro.sim.spec import SimSpec
+
+    client = ServiceClient(port=8732)
+    job = client.submit("SCP", spec=SimSpec(scheduler=dyn_dms()),
+                        scale=0.25)
+    report = client.wait_for_report(job["id"])
+
+Every call opens a fresh connection (the daemon is ``Connection:
+close``), so a client object is cheap, stateless, and thread-safe to
+share across a submitting thread pool.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Optional
+
+from repro.errors import ConfigError, ServiceBusyError, ServiceError
+from repro.sim.report import SimReport
+from repro.sim.spec import SimSpec
+
+
+class ServiceClient:
+    """Thin JSON/HTTP client for one daemon endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8732,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> tuple[int, dict, dict]:
+        """One round trip; returns (status, response headers, JSON body)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            return (
+                response.status,
+                dict(response.getheaders()),
+                document,
+            )
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _raise_for(status: int, headers: dict, doc: dict) -> None:
+        message = doc.get("error", f"HTTP {status}")
+        if status == 429:
+            try:
+                retry_after = float(
+                    doc.get("retry_after")
+                    or headers.get("Retry-After", 1.0)
+                )
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            raise ServiceBusyError(message, retry_after=retry_after)
+        if status == 400:
+            raise ConfigError(message)
+        if status >= 400:
+            raise ServiceError(f"{message} (HTTP {status})")
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """The daemon's liveness document."""
+        status, headers, doc = self._request("GET", "/v1/healthz")
+        self._raise_for(status, headers, doc)
+        return doc
+
+    def stats(self) -> dict:
+        """Service counters, queue occupancy, and cache snapshot."""
+        status, headers, doc = self._request("GET", "/v1/stats")
+        self._raise_for(status, headers, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        app: str,
+        *,
+        spec: Optional[SimSpec | dict] = None,
+        scale: float = 1.0,
+        seed: int = 7,
+        priority: int = 0,
+        retry_busy: int = 0,
+    ) -> dict:
+        """Submit one job; returns the server's job document.
+
+        ``retry_busy`` re-submits up to N times on 429, sleeping the
+        server's ``Retry-After`` hint between tries — the polite way to
+        drive a sweep into a bounded queue.
+        """
+        if spec is None:
+            spec_doc: dict = {}
+        elif isinstance(spec, SimSpec):
+            spec_doc = spec.to_dict()
+        else:
+            spec_doc = spec
+        payload = {
+            "app": app,
+            "scale": scale,
+            "seed": seed,
+            "priority": priority,
+            "spec": spec_doc,
+        }
+        attempts_left = max(0, retry_busy)
+        while True:
+            status, headers, doc = self._request(
+                "POST", "/v1/jobs", payload
+            )
+            if status == 429 and attempts_left > 0:
+                attempts_left -= 1
+                try:
+                    delay = float(
+                        doc.get("retry_after")
+                        or headers.get("Retry-After", 1.0)
+                    )
+                except (TypeError, ValueError):
+                    delay = 1.0
+                time.sleep(min(delay, 30.0))
+                continue
+            self._raise_for(status, headers, doc)
+            job = doc.get("job", {})
+            job["outcome"] = doc.get("outcome")
+            return job
+
+    def job(self, job_id: str) -> dict:
+        """Current status document of one job (result included when done)."""
+        status, headers, doc = self._request("GET", f"/v1/jobs/{job_id}")
+        self._raise_for(status, headers, doc)
+        return doc
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job."""
+        status, headers, doc = self._request(
+            "POST", f"/v1/jobs/{job_id}/cancel"
+        )
+        self._raise_for(status, headers, doc)
+        return doc
+
+    def shutdown(self, *, drain: bool = True) -> dict:
+        """Ask the daemon to stop (draining queued jobs first by default)."""
+        status, headers, doc = self._request(
+            "POST", "/v1/shutdown", {"drain": drain}
+        )
+        self._raise_for(status, headers, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        *,
+        poll_seconds: float = 0.1,
+        timeout: float = 600.0,
+    ) -> dict:
+        """Block until the job is terminal; returns the final document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc.get("state") in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')!r} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def wait_for_report(
+        self,
+        job_id: str,
+        *,
+        poll_seconds: float = 0.1,
+        timeout: float = 600.0,
+    ) -> SimReport:
+        """Like :meth:`wait` but decodes the result into a SimReport.
+
+        Raises :class:`~repro.errors.ServiceError` when the job failed
+        or was cancelled (the failure record rides in the message).
+        """
+        doc = self.wait(
+            job_id, poll_seconds=poll_seconds, timeout=timeout
+        )
+        if doc.get("state") != "done":
+            error = doc.get("error") or {}
+            raise ServiceError(
+                f"job {job_id} {doc.get('state')}: "
+                f"{error.get('error_type', '?')}: "
+                f"{error.get('message', '')}"
+            )
+        result = doc.get("result")
+        if result is None:
+            raise ServiceError(
+                f"job {job_id} is done but its result is no longer "
+                "cached on the server"
+            )
+        return SimReport.from_dict(result)
+
+    # ------------------------------------------------------------------
+    def events(
+        self, job_id: str, *, timeout: float = 600.0
+    ) -> Iterator[tuple[str, Any]]:
+        """Iterate the job's SSE stream as ``(event, data)`` pairs.
+
+        The stream ends when the server closes it (after the terminal
+        event); ``data`` is JSON-decoded when possible.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw)
+                except json.JSONDecodeError:
+                    doc = {"error": raw.decode("utf-8", "replace")}
+                self._raise_for(response.status, {}, doc)
+            event = "message"
+            data_lines: list[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line == "":
+                    if data_lines:
+                        data = "\n".join(data_lines)
+                        try:
+                            yield event, json.loads(data)
+                        except json.JSONDecodeError:
+                            yield event, data
+                    event = "message"
+                    data_lines = []
+                elif line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+        finally:
+            conn.close()

@@ -1,0 +1,795 @@
+"""The simulation-service daemon: a stdlib-only asyncio HTTP server.
+
+``repro-harness serve`` turns the repository into a long-lived,
+multi-tenant simulation service::
+
+    POST /v1/jobs               submit a JSON SimSpec job -> job id
+    GET  /v1/jobs/<id>          status (+ full SimReport when done)
+    GET  /v1/jobs/<id>/events   SSE stream: state changes + per-window
+                                telemetry (BWUTIL, activations, drops,
+                                live Dyn-DMS X / Dyn-AMS Th_RBL)
+    POST /v1/jobs/<id>/cancel   cancel a queued job
+    GET  /v1/healthz            liveness probe
+    GET  /v1/stats              service counters + queue + cache snapshot
+    POST /v1/shutdown           graceful drain + stop
+
+Execution reuses the existing harness stack end to end: admission is
+cache-first against the shared :class:`~repro.harness.cache.ResultCache`,
+identical in-flight specs coalesce onto one computation
+(:mod:`repro.service.queue`), and each simulation runs through the
+PR 3 fault-tolerance machinery — a per-job
+:class:`~repro.harness.runner.Runner` with bounded retries,
+deterministic exponential backoff, and (with ``cell_timeout``) the
+supervised process pool that kills hung workers. Jobs whose spec asks
+for telemetry run in-process instead so their
+:class:`~repro.telemetry.sampler.WindowSeries` samples can be streamed
+over SSE *while the simulation is still running*.
+
+Every submission/transition is journalled
+(:class:`~repro.service.jobs.JobJournal`); a restarted daemon replays
+the journal, keeps terminal jobs addressable (results re-served from
+the cache by content key), and re-queues interrupted work.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
+close``, JSON bodies) — no framework, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import traceback as traceback_mod
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional
+from urllib.parse import urlsplit
+
+from repro.dram.request import reset_request_ids
+from repro.errors import ConfigError, JobStateError
+from repro.harness.cache import ResultCache
+from repro.harness.faults import CellFailure
+from repro.harness.runner import Runner
+from repro.harness.schemes import WINDOW_CYCLES
+from repro.service.jobs import (
+    Job,
+    JobJournal,
+    JobState,
+    replay_journal,
+)
+from repro.service.queue import ADMIT_CACHED, JobQueue, QueueFullError
+from repro.sim.report import SimReport
+from repro.sim.system import simulate_spec
+from repro.telemetry.hub import (
+    MetricsHub,
+    SERVICE_CANCELLED,
+    SERVICE_COMPLETED,
+    SERVICE_FAILED,
+    SERVICE_RECOVERED,
+    SERVICE_SIMULATIONS,
+    SERVICE_SSE_STREAMS,
+    SERVICE_SUBMITTED,
+)
+from repro.workloads.registry import get_workload
+
+#: Default TCP port (unassigned by IANA; "DRAM" on a phone keypad is
+#: taken, so this is simply stable and memorable for local use).
+DEFAULT_PORT = 8732
+
+#: Default journal location, beside (not inside) the result cache.
+DEFAULT_JOURNAL = ".repro-service/journal.jsonl"
+
+#: Upper bound on request bodies (a SimSpec is a few KB; 8 MB is ample).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _JobFailed(Exception):
+    """Internal: a job exhausted its retries; carries the CellFailure."""
+
+    def __init__(self, failure: CellFailure) -> None:
+        super().__init__(failure.summary())
+        self.failure = failure
+
+
+class ServiceDaemon:
+    """One serving instance: HTTP front, bounded queue, worker tasks.
+
+    ``workers=0`` is admission-only mode (jobs queue but never run) —
+    useful for tests exercising backpressure and cancellation
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        queue_size: int = 64,
+        cache: Optional[ResultCache] = None,
+        journal_path: str | Path = DEFAULT_JOURNAL,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
+        cell_timeout: Optional[float] = None,
+        window_cycles: int = WINDOW_CYCLES,
+        sse_poll_seconds: float = 0.05,
+        verbose: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_size = queue_size
+        self.cache = cache if cache is not None else ResultCache()
+        self.journal = JobJournal(journal_path)
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.cell_timeout = cell_timeout
+        self.window_cycles = window_cycles
+        self.sse_poll_seconds = sse_poll_seconds
+        self.verbose = verbose
+        self.hub = MetricsHub(window_cycles=max(window_cycles, 1))
+        #: Every job this daemon knows (live + recovered), by id.
+        self.jobs: dict[str, Job] = {}
+        self.queue: Optional[JobQueue] = None
+        self._running: dict[str, Job] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started_at = time.time()
+        self._stopping = False
+        self._finished = None  # asyncio.Event, created on the loop
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._thread_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Serve until shut down (blocking; the CLI entry point)."""
+        asyncio.run(self._serve())
+
+    def start_in_thread(self, timeout: float = 30.0) -> "ServiceDaemon":
+        """Run the daemon in a background thread; returns once bound.
+
+        ``port=0`` picks a free port; the resolved one is on
+        :attr:`port` by the time this returns. Pair with :meth:`stop`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+
+        def target() -> None:
+            try:
+                self.run()
+            except BaseException as exc:  # surfaced by start/stop
+                self._thread_error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=target, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service daemon did not start in time")
+        if self._thread_error is not None:
+            raise RuntimeError(
+                f"service daemon failed to start: {self._thread_error!r}"
+            )
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        """Gracefully shut down a :meth:`start_in_thread` daemon."""
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(
+                    lambda: self._loop.create_task(self._shutdown(drain))
+                )
+            except RuntimeError:
+                pass  # loop already closing
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._finished = asyncio.Event()
+        self.queue = JobQueue(
+            maxsize=self.queue_size, cache=self.cache, metrics=self.hub
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.workers),
+            thread_name_prefix="repro-sim",
+        )
+        self.journal.open()
+        await self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.create_task(self._worker()) for _ in range(self.workers)
+        ]
+        self._log(
+            f"serving on http://{self.host}:{self.port} "
+            f"(workers={self.workers}, queue={self.queue_size}, "
+            f"cache={self.cache.root if self.cache.enabled else 'off'})"
+        )
+        self._ready.set()
+        try:
+            await self._finished.wait()
+        finally:
+            self.journal.close()
+
+    async def _recover(self) -> None:
+        """Replay the journal: keep history, re-queue interrupted jobs."""
+        recovered = replay_journal(self.journal.path)
+        requeued = 0
+        for job in recovered:
+            self.jobs[job.id] = job
+            if job.terminal:
+                continue
+            self.hub.inc(SERVICE_RECOVERED)
+            try:
+                outcome = await self.queue.admit(job)
+            except QueueFullError:
+                job.transition(JobState.FAILED)
+                job.error = {
+                    "error_type": "QueueFullError",
+                    "message": "queue full during journal recovery",
+                }
+                self.journal.record_state(job)
+                continue
+            if outcome == ADMIT_CACHED:
+                # The interrupted run's cell finished in some other
+                # daemon/CLI process meanwhile; serve it as done.
+                self.journal.record_state(job)
+                self.hub.inc(SERVICE_COMPLETED)
+            else:
+                requeued += 1
+        if recovered:
+            self._log(
+                f"journal replay: {len(recovered)} job(s), "
+                f"{requeued} re-queued"
+            )
+
+    async def _shutdown(self, drain: bool) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        self._log(f"shutting down (drain={drain})")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            while len(self.queue) or self._running:
+                await asyncio.sleep(0.02)
+        await self.queue.close()
+        if self._worker_tasks:
+            await asyncio.gather(
+                *self._worker_tasks, return_exceptions=True
+            )
+        self._executor.shutdown(wait=drain, cancel_futures=not drain)
+        self._finished.set()
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            import sys
+
+            print(f"[repro-service] {message}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Job bookkeeping
+    # ------------------------------------------------------------------
+    def _set_state(self, job: Job, state: JobState) -> None:
+        job.transition(state)
+        self.journal.record_state(job)
+
+    def _execution_of(self, job: Job) -> Job:
+        """The job actually carrying the simulation (follows coalescing)."""
+        seen = set()
+        while job.coalesced_into and job.id not in seen:
+            seen.add(job.id)
+            primary = self.jobs.get(job.coalesced_into)
+            if primary is None:
+                break
+            job = primary
+        return job
+
+    def _finish_job(
+        self,
+        job: Job,
+        *,
+        report: Optional[SimReport],
+        error: Optional[dict],
+    ) -> None:
+        """Resolve a primary and all its followers to a terminal state."""
+        members = [job, *job.followers]
+        job.followers = []
+        for member in members:
+            if member.terminal:
+                continue
+            member.report = report
+            member.error = error
+            if report is not None:
+                self._set_state(member, JobState.DONE)
+                self.hub.inc(SERVICE_COMPLETED)
+            else:
+                self._set_state(member, JobState.FAILED)
+                self.hub.inc(SERVICE_FAILED)
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            if job is None:
+                return
+            self._set_state(job, JobState.RUNNING)
+            self._running[job.id] = job
+            started = time.monotonic()
+            try:
+                report = await self._loop.run_in_executor(
+                    self._executor, self._execute_sync, job
+                )
+            except _JobFailed as exc:
+                self._finish_job(
+                    job, report=None, error=exc.failure.to_dict()
+                )
+            except Exception as exc:  # daemon bug / unexpected
+                self._finish_job(
+                    job,
+                    report=None,
+                    error={
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": "".join(
+                            traceback_mod.format_exception(
+                                type(exc), exc, exc.__traceback__
+                            )
+                        ),
+                    },
+                )
+            else:
+                self._finish_job(job, report=report, error=None)
+            finally:
+                self.queue.note_duration(time.monotonic() - started)
+                self._running.pop(job.id, None)
+                self.queue.release(job)
+
+    # ------------------------------------------------------------------
+    # Simulation execution (runs in executor threads)
+    # ------------------------------------------------------------------
+    def _execute_sync(self, job: Job) -> SimReport:
+        if job.spec.telemetry:
+            return self._execute_streaming(job)
+        return self._execute_runner(job)
+
+    def _execute_runner(self, job: Job) -> SimReport:
+        """Run through the harness Runner: retries, backoff, and (with
+        ``cell_timeout``) the supervised, self-healing process pool."""
+        spec = job.spec
+        label = spec.scheduler.name
+        runner = Runner(
+            scale=job.scale,
+            seed=job.seed,
+            config=spec.config,
+            device=spec.device,
+            verbose=False,
+            jobs=1,
+            cache=self.cache if self.cache.enabled else None,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            cell_timeout=self.cell_timeout,
+            keep_going=True,
+            faults=None,
+            metrics=self.hub,
+        )
+        result = runner.run_matrix(
+            [job.app],
+            {label: spec.scheduler},
+            measure_error=spec.measure_error,
+        )
+        if runner.simulations_run:
+            self.hub.inc(SERVICE_SIMULATIONS, runner.simulations_run)
+        if result.failures:
+            failure = result.failures[0]
+            job.attempts = failure.attempts
+            raise _JobFailed(failure)
+        job.attempts = max(job.attempts, 1)
+        return result[(job.app, label)]
+
+    def _execute_streaming(self, job: Job) -> SimReport:
+        """In-process execution with a live telemetry hub attached, so
+        the SSE streamer can watch windows arrive mid-run. Same retry
+        policy and :class:`CellFailure` records as the Runner path, but
+        no preemptive ``cell_timeout`` (an in-thread simulation cannot
+        be killed; use a non-telemetry spec when you need hard kills).
+        """
+        spec = job.spec
+        attempts = 0
+        elapsed = 0.0
+        while True:
+            attempts += 1
+            job.attempts = attempts
+            start = time.perf_counter()
+            try:
+                reset_request_ids()
+                workload = get_workload(
+                    job.app, scale=job.scale, seed=job.seed
+                )
+                hub = MetricsHub(window_cycles=self.window_cycles)
+                job.live_hub = hub
+                report = simulate_spec(workload, spec, telemetry=hub)
+            except Exception as exc:
+                elapsed += time.perf_counter() - start
+                if attempts > self.retries:
+                    raise _JobFailed(
+                        CellFailure(
+                            app=job.app,
+                            label=spec.scheduler.name,
+                            key=job.key,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback="".join(
+                                traceback_mod.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
+                            attempts=attempts,
+                            elapsed=elapsed,
+                        )
+                    ) from exc
+                # PR 3's deterministic jitter-free exponential backoff.
+                time.sleep(self.retry_backoff * 2.0 ** (attempts - 1))
+            else:
+                self.hub.inc(SERVICE_SIMULATIONS)
+                if self.cache.enabled:
+                    self.cache.store(job.key, report)
+                return report
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader, writer)
+            if request is not None:
+                method, path, body = request
+                await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:
+            try:
+                self._respond(
+                    writer,
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[tuple[str, str, bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_BODY_BYTES:
+            self._respond(writer, 413, {"error": "request body too large"})
+            return None
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return method, urlsplit(target).path, body
+
+    def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/v1/healthz" and method == "GET":
+            self._respond(writer, 200, self._healthz_doc())
+            return
+        if path == "/v1/stats" and method == "GET":
+            self._respond(writer, 200, self.stats_doc())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._handle_submit(body, writer)
+            return
+        if path == "/v1/shutdown" and method == "POST":
+            try:
+                payload = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                payload = {}
+            drain = bool(payload.get("drain", True))
+            self._respond(
+                writer, 202, {"ok": True, "draining": drain}
+            )
+            await writer.drain()
+            asyncio.ensure_future(self._shutdown(drain))
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events") and method == "GET":
+                await self._handle_events(rest[: -len("/events")], writer)
+                return
+            if rest.endswith("/cancel") and method == "POST":
+                await self._handle_cancel(rest[: -len("/cancel")], writer)
+                return
+            if "/" not in rest and method == "GET":
+                self._handle_status(rest, writer)
+                return
+        self._respond(
+            writer, 404, {"error": f"no route for {method} {path}"}
+        )
+
+    # ------------------------------------------------------------------
+    def _healthz_doc(self) -> dict:
+        return {
+            "ok": True,
+            "serving": not self._stopping,
+            "queued": len(self.queue) if self.queue else 0,
+            "running": len(self._running),
+            "workers": self.workers,
+            "uptime_seconds": time.time() - self._started_at,
+        }
+
+    def stats_doc(self) -> dict:
+        """The ``/v1/stats`` document (also used by tests directly)."""
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+        return {
+            "service": self.hub.snapshot(),
+            "queue": {
+                "depth": len(self.queue) if self.queue else 0,
+                "maxsize": self.queue_size,
+                "inflight_keys": (
+                    self.queue.inflight_keys if self.queue else 0
+                ),
+                "running": len(self._running),
+                "workers": self.workers,
+            },
+            "jobs": by_state,
+            "cache": self.cache.info(),
+            "uptime_seconds": time.time() - self._started_at,
+        }
+
+    async def _handle_submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as exc:
+            self._respond(
+                writer, 400, {"error": f"invalid JSON body: {exc}"}
+            )
+            return
+        try:
+            job = Job.from_request(payload)
+        except ConfigError as exc:
+            self._respond(writer, 400, {"error": str(exc)})
+            return
+        if self._stopping:
+            self._respond(
+                writer,
+                429,
+                {"error": "daemon is draining"},
+                headers={"Retry-After": "5"},
+            )
+            return
+        try:
+            outcome = await self.queue.admit(job)
+        except QueueFullError as exc:
+            self._respond(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:.0f}"},
+            )
+            return
+        self.hub.inc(SERVICE_SUBMITTED)
+        self.jobs[job.id] = job
+        self.journal.record_submit(job)
+        if outcome == ADMIT_CACHED:
+            self.journal.record_state(job)
+            self.hub.inc(SERVICE_COMPLETED)
+            status = 200
+        else:
+            status = 202
+        self._respond(
+            writer,
+            status,
+            {"outcome": outcome, "job": job.to_public_dict()},
+        )
+
+    def _resolve_result(self, job: Job) -> None:
+        """Attach the report of a DONE-but-unloaded job (post-restart)."""
+        if (
+            job.state is JobState.DONE
+            and job.report is None
+            and self.cache.enabled
+        ):
+            job.report = self.cache.load(job.key)
+
+    def _handle_status(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._respond(
+                writer, 404, {"error": f"unknown job {job_id!r}"}
+            )
+            return
+        self._resolve_result(job)
+        self._respond(writer, 200, job.to_public_dict())
+
+    async def _handle_cancel(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._respond(
+                writer, 404, {"error": f"unknown job {job_id!r}"}
+            )
+            return
+        try:
+            if job.coalesced_into is not None:
+                primary = self.jobs.get(job.coalesced_into)
+                if primary is not None and job in primary.followers:
+                    primary.followers.remove(job)
+                job.transition(JobState.CANCELLED)
+                promoted = None
+            else:
+                promoted = await self.queue.cancel(job)
+        except JobStateError as exc:
+            self._respond(writer, 409, {"error": str(exc)})
+            return
+        self.journal.record_state(job)
+        self.hub.inc(SERVICE_CANCELLED)
+        if promoted is not None:
+            self.journal.record_state(promoted)
+        self._respond(
+            writer, 200, job.to_public_dict(include_result=False)
+        )
+
+    # ------------------------------------------------------------------
+    # Server-sent events
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sse_frame(event: str, data: dict) -> bytes:
+        return (
+            f"event: {event}\ndata: {json.dumps(data)}\n\n"
+        ).encode("utf-8")
+
+    async def _handle_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._respond(
+                writer, 404, {"error": f"unknown job {job_id!r}"}
+            )
+            return
+        self.hub.inc(SERVICE_SSE_STREAMS)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        sent = 0
+        last_state: Optional[str] = None
+        while True:
+            execution = self._execution_of(job)
+            if job.state is JobState.DONE and job.report is None:
+                self._resolve_result(job)
+            samples = execution.window_samples()
+            for sample in samples[sent:]:
+                writer.write(
+                    self._sse_frame("window", sample.to_dict())
+                )
+            sent = max(sent, len(samples))
+            if job.state.value != last_state:
+                last_state = job.state.value
+                writer.write(
+                    self._sse_frame(
+                        "state",
+                        job.to_public_dict(include_result=False),
+                    )
+                )
+            await writer.drain()
+            if job.terminal:
+                summary: dict = {
+                    "id": job.id,
+                    "state": job.state.value,
+                    "cached": job.cached,
+                    "windows": sent,
+                    "error": job.error,
+                }
+                if job.report is not None:
+                    summary["metrics"] = {
+                        "ipc": job.report.ipc,
+                        "activations": job.report.activations,
+                        "row_energy_nj": job.report.row_energy_nj,
+                        "coverage": job.report.coverage,
+                        "elapsed_mem_cycles": (
+                            job.report.elapsed_mem_cycles
+                        ),
+                    }
+                writer.write(self._sse_frame(job.state.value, summary))
+                await writer.drain()
+                return
+            await asyncio.sleep(self.sse_poll_seconds)

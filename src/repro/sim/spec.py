@@ -84,11 +84,25 @@ class SimSpec:
             raise ConfigError(
                 f"SimSpec payload must be a dict, got {type(data).__name__}"
             )
-        scheduler = decode_optional(SchedulerConfig, data.get("scheduler"))
+        known = {
+            "scheduler", "device", "config", "measure_error",
+            "record_activations", "telemetry",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                "unknown SimSpec field(s) in payload: "
+                + ", ".join(sorted(unknown))
+            )
+        scheduler = decode_optional(
+            SchedulerConfig, data.get("scheduler"), path="scheduler"
+        )
         return cls(
             scheduler=scheduler if scheduler is not None else SchedulerConfig(),
             device=data.get("device"),
-            config=decode_optional(GPUConfig, data.get("config")),
+            config=decode_optional(
+                GPUConfig, data.get("config"), path="config"
+            ),
             measure_error=bool(data.get("measure_error", False)),
             record_activations=bool(data.get("record_activations", True)),
             telemetry=bool(data.get("telemetry", False)),

@@ -349,6 +349,14 @@ def simulate(
     The keyword arguments map one-to-one onto spec fields and behaviour
     is identical.
     """
+    import warnings
+
+    warnings.warn(
+        "simulate(scheduler=..., config=...) is deprecated; build a "
+        "SimSpec and call simulate_spec(workload, spec) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     spec = SimSpec(
         scheduler=scheduler if scheduler is not None else baseline_scheduler(),
         device=device,

@@ -51,6 +51,34 @@ HARNESS_QUARANTINED = "harness.cells.quarantined"
 #: Cache blobs deliberately garbled by the chaos plan (tests only).
 HARNESS_CHAOS_CORRUPTED = "harness.chaos.corrupted_blobs"
 
+# ----------------------------------------------------------------------
+# Canonical counter names of the simulation service daemon
+# (:mod:`repro.service`). The daemon increments these on its own hub;
+# ``GET /v1/stats`` serves the snapshot, and the end-to-end coalescing
+# test asserts on them.
+# ----------------------------------------------------------------------
+#: Jobs accepted by ``POST /v1/jobs`` (any admission outcome).
+SERVICE_SUBMITTED = "service.jobs.submitted"
+#: Submissions answered straight from the persistent result cache.
+SERVICE_CACHE_HITS = "service.jobs.cache_hits"
+#: Submissions coalesced onto an identical in-flight computation.
+SERVICE_COALESCED = "service.jobs.coalesced"
+#: Submissions rejected with 429 because the bounded queue was full.
+SERVICE_REJECTED = "service.jobs.rejected"
+#: Jobs (primaries + followers) that reached ``done``.
+SERVICE_COMPLETED = "service.jobs.completed"
+#: Jobs that reached ``failed`` after exhausting their retries.
+SERVICE_FAILED = "service.jobs.failed"
+#: Jobs cancelled while queued.
+SERVICE_CANCELLED = "service.jobs.cancelled"
+#: Non-terminal jobs re-admitted from the journal after a restart.
+SERVICE_RECOVERED = "service.jobs.recovered"
+#: Underlying simulations actually executed by the daemon's workers
+#: (cache hits and coalesced followers never increment this).
+SERVICE_SIMULATIONS = "service.simulations"
+#: SSE event-stream connections served.
+SERVICE_SSE_STREAMS = "service.sse.streams"
+
 
 class MetricsHub:
     """Named counters/gauges plus the per-window timeline of one run."""
@@ -67,6 +95,12 @@ class MetricsHub:
         self.gauges: dict[str, float] = {}
         #: Filled in by the window recorder at the end of the run.
         self.timeline: Optional[Timeline] = None
+        #: Live view of the window recorder's growing sample list,
+        #: published by :class:`~repro.telemetry.sampler.WindowSeries`
+        #: as soon as it attaches. List appends are GIL-atomic, so a
+        #: reader in another thread (the service's SSE streamer) can
+        #: snapshot it mid-run without locking.
+        self.live_samples: Optional[list] = None
 
     # ------------------------------------------------------------------
     def inc(self, name: str, value: float = 1.0) -> None:
@@ -100,6 +134,7 @@ class NullHub:
     enabled = False
     window_cycles = 0
     timeline = None
+    live_samples = None
 
     def inc(self, name: str, value: float = 1.0) -> None:
         pass
