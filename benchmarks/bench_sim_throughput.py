@@ -14,8 +14,16 @@ commits can be compared::
 
 The JSON records, per (app, scheme) cell: events processed/cancelled,
 wall seconds, and events/sec; plus a matrix section timing a fresh
-``Runner.run_matrix`` serially and with ``--jobs`` workers (the
-parallel number is only meaningful on a multi-core host).
+``Runner.run_matrix`` at each fan-out level (1/2/4/8 workers, plus a
+thread-mode run), every pooled level against a *prewarmed*
+:class:`~repro.harness.pool.WarmPool` so the numbers compare dispatch
+cost rather than process start-up. Parallel speedups are only
+meaningful on a multi-core host — on one core they hover at or below
+1.0 by construction.
+
+The output file keeps a dated ``history`` list: each run replaces
+``latest`` and appends a compact summary entry, so regressions are
+visible across commits without digging through git history.
 
 Run under pytest it doubles as a smoke test (tiny scale, no JSON).
 """
@@ -109,23 +117,48 @@ def measure_telemetry_overhead(apps, *, scale: float, seed: int,
     }
 
 
-def measure_matrix(apps, *, scale: float, seed: int, jobs: int) -> dict:
-    """Wall-clock of a fresh (apps x schemes) matrix, serial vs jobs."""
+def _time_matrix(apps, schemes, *, scale: float, seed: int,
+                 jobs: int, threads: bool = False) -> float:
+    """One fresh ``run_matrix`` against a prewarmed pool, in seconds."""
+    runner = Runner(scale=scale, seed=seed, verbose=False,
+                    cache=None, jobs=jobs, threads=threads)
+    runner.prewarm()
+    start = time.perf_counter()
+    runner.run_matrix(apps, schemes)
+    wall = time.perf_counter() - start
+    runner.close()
+    return round(wall, 4)
+
+
+def measure_matrix(apps, *, scale: float, seed: int,
+                   jobs_levels=(1, 2, 4, 8)) -> dict:
+    """Jobs-scaling sweep: one fresh (apps x schemes) matrix per level.
+
+    Every pooled level runs against a prewarmed
+    :class:`~repro.harness.pool.WarmPool`, so the comparison is
+    steady-state dispatch cost, not worker start-up. A thread-mode run
+    at the widest level rides along (no serialization, shared GIL).
+    """
     schemes = _cell_schemes()
-    timings = {}
-    for mode, n in (("serial", 1), (f"jobs{jobs}", jobs)):
-        runner = Runner(scale=scale, seed=seed, verbose=False,
-                        cache=None, jobs=n)
-        start = time.perf_counter()
-        runner.run_matrix(apps, schemes)
-        timings[mode] = round(time.perf_counter() - start, 4)
-    serial, parallel = timings["serial"], timings[f"jobs{jobs}"]
-    return {
-        "cells": len(apps) * len(schemes),
-        "serial_wall_s": serial,
-        f"jobs{jobs}_wall_s": parallel,
-        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
-    }
+    levels: dict[str, dict] = {}
+    serial = None
+    for n in jobs_levels:
+        wall = _time_matrix(apps, schemes, scale=scale, seed=seed, jobs=n)
+        entry = {"wall_s": wall}
+        if n == 1:
+            serial = wall
+        if serial is not None and wall > 0:
+            entry["speedup_vs_serial"] = round(serial / wall, 3)
+        levels[f"jobs{n}"] = entry
+    widest = max(jobs_levels)
+    if widest > 1:
+        wall = _time_matrix(apps, schemes, scale=scale, seed=seed,
+                            jobs=widest, threads=True)
+        entry = {"wall_s": wall}
+        if serial is not None and wall > 0:
+            entry["speedup_vs_serial"] = round(serial / wall, 3)
+        levels[f"threads{widest}"] = entry
+    return {"cells": len(apps) * len(schemes), "levels": levels}
 
 
 def run_benchmark(*, scale: float, seed: int, jobs: int,
@@ -153,14 +186,53 @@ def run_benchmark(*, scale: float, seed: int, jobs: int,
         },
     }
     if matrix:
+        jobs_levels = tuple(
+            sorted({n for n in (1, 2, 4, 8) if n <= jobs} | {jobs})
+        )
         result["matrix"] = measure_matrix(
-            apps, scale=scale, seed=seed, jobs=jobs
+            apps, scale=scale, seed=seed, jobs_levels=jobs_levels
         )
     if telemetry_window > 0:
         result["telemetry"] = measure_telemetry_overhead(
             apps, scale=scale, seed=seed, window=telemetry_window
         )
     return result
+
+
+def _summarize(result: dict, *, date: str) -> dict:
+    """Compact history entry for one benchmark run."""
+    entry = {
+        "date": date,
+        "scale": result.get("scale"),
+        "seed": result.get("seed"),
+        "events_per_s": result.get("total", {}).get("events_per_s"),
+    }
+    matrix = result.get("matrix")
+    if isinstance(matrix, dict):
+        if "levels" in matrix:
+            entry["matrix_speedups"] = {
+                level: data.get("speedup_vs_serial")
+                for level, data in matrix["levels"].items()
+            }
+        elif "speedup" in matrix:  # pre-scaling single-level format
+            entry["matrix_speedups"] = {"jobs": matrix["speedup"]}
+    return entry
+
+
+def _load_history(path: Path) -> list:
+    """Prior runs' summary entries; tolerates every past file format."""
+    if not path.exists():
+        return []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(doc, dict):
+        if isinstance(doc.get("history"), list):
+            return doc["history"]
+        if "total" in doc:  # single-result format of earlier revisions
+            return [_summarize(doc, date="(pre-history)")]
+    return []
 
 
 def main(argv=None) -> int:
@@ -170,9 +242,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload size multiplier")
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--jobs", "-j", type=int,
-                        default=min(4, os.cpu_count() or 1),
-                        help="worker count for the matrix timing")
+    parser.add_argument("--jobs", "-j", type=int, default=8,
+                        help="widest fan-out level for the jobs-scaling "
+                        "matrix timing (levels: 1/2/4/8 up to this)")
     parser.add_argument("--no-matrix", action="store_true",
                         help="skip the serial-vs-parallel matrix timing")
     parser.add_argument("--telemetry", type=int, nargs="?", const=4096,
@@ -189,7 +261,18 @@ def main(argv=None) -> int:
         telemetry_window=max(0, args.telemetry),
     )
     out = Path(args.out)
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    history = _load_history(out)
+    history.append(
+        _summarize(result, date=time.strftime("%Y-%m-%d %H:%M:%S"))
+    )
+    document = {
+        "benchmark": "sim_throughput",
+        "latest": result,
+        "history": history,
+    }
+    out.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
     for cell in result["cells"]:
         print(
             f"{cell['app']:>12} {cell['scheme']:<10}"
@@ -202,7 +285,11 @@ def main(argv=None) -> int:
           f" {total['wall_s']:>8.3f}s {total['events_per_s']:>9} ev/s")
     if "matrix" in result:
         m = result["matrix"]
-        print(f"matrix: {m}")
+        print(f"matrix ({m['cells']} cells):")
+        for level, data in m["levels"].items():
+            speed = data.get("speedup_vs_serial")
+            extra = f"  {speed:.3f}x vs serial" if speed else ""
+            print(f"  {level:>9}: {data['wall_s']:>8.3f}s{extra}")
     if "telemetry" in result:
         t = result["telemetry"]
         print(f"telemetry({t['window_cycles']}): off {t['off_wall_s']}s"

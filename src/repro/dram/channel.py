@@ -22,6 +22,7 @@ from repro.config.timing import DRAMTimings
 from repro.dram.bank import Bank
 from repro.dram.commands import CommandRecord, DRAMCommand
 from repro.dram.stats import ChannelStats
+from repro.dram.timing import TimingTable
 
 
 class Channel:
@@ -39,6 +40,8 @@ class Channel:
     ) -> None:
         self.channel_id = channel_id
         self.timings = timings
+        #: Flattened float constants for the scheduler hot path.
+        self.table = TimingTable.from_timings(timings)
         self.banks: list[Bank] = [
             Bank(index=i, bank_group=mapping.bank_group_of(i), timings=timings)
             for i in range(mapping.banks_per_channel)
@@ -66,11 +69,9 @@ class Channel:
     # ------------------------------------------------------------------
     def column_ready_time(self, bank: Bank, is_write: bool, now: float) -> float:
         """Earliest issue time for a RD/WR to the open row of ``bank``."""
-        tm = self.timings
         t = bank.earliest_column_time(now, is_write)
         t = max(t, self._group_earliest_col[bank.bank_group], self._next_cmd_time)
-        cas = tm.tCWL if is_write else tm.tCL
-        data_start = t + cas
+        data_start = t + self.table.cas[is_write]
         if data_start < self._bus_free:
             t += self._bus_free - data_start
         return t
@@ -92,7 +93,7 @@ class Channel:
         """Earliest legal ACT issue time for a closed bank."""
         return max(
             bank.earliest_activate_time(now),
-            self._last_act_any + self.timings.tRRD,
+            self._last_act_any + self.table.tRRD,
             self._next_cmd_time,
         )
 
@@ -103,12 +104,11 @@ class Channel:
         self, bank: Bank, is_write: bool, now: float
     ) -> tuple[float, float]:
         """Issue a RD/WR to the open row; returns ``(cmd_time, data_end)``."""
-        tm = self.timings
+        tb = self.table
         t = self.column_ready_time(bank, is_write, now)
-        cas = tm.tCWL if is_write else tm.tCL
-        data_start = t + cas
-        data_end = data_start + tm.tBURST
-        self._group_earliest_col[bank.bank_group] = t + tm.tCCD
+        data_start = t + tb.cas[is_write]
+        data_end = data_start + tb.tBURST
+        self._group_earliest_col[bank.bank_group] = t + tb.tCCD
         self._bus_free = data_end
         self._next_cmd_time = t + 1
         bank.do_column(t, is_write, data_end)

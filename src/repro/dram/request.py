@@ -3,12 +3,28 @@
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.config.address import AddressMapping
 
-_rid_counter = itertools.count()
+
+class _RidState(threading.local):
+    """Per-thread request-id stream.
+
+    The counter is thread-local so the warm pool's ``--threads`` mode
+    stays deterministic: each worker thread re-seeds *its own* stream at
+    the top of every cell (see ``reset_request_ids``), so concurrent
+    cells cannot interleave rids — a cell's report depends only on the
+    cell, never on what another thread simulated at the same time.
+    """
+
+    def __init__(self) -> None:
+        self.counter = itertools.count()
+
+
+_rids = _RidState()
 
 
 @dataclass(slots=True)
@@ -51,7 +67,7 @@ class MemoryRequest:
     arrival_time: float = 0.0
     enqueue_time: float = 0.0
     tag: Any = None
-    rid: int = field(default_factory=lambda: next(_rid_counter))
+    rid: int = field(default_factory=lambda: next(_rids.counter))
 
     @classmethod
     def from_address(
@@ -91,6 +107,10 @@ class MemoryRequest:
 
 
 def reset_request_ids() -> None:
-    """Restart the global request id counter (test isolation helper)."""
-    global _rid_counter
-    _rid_counter = itertools.count()
+    """Restart the calling thread's request id counter.
+
+    Called at the top of every simulated cell (and by tests needing
+    isolation) so rids — and therefore the full report — depend only on
+    the cell itself, in any process *or thread*.
+    """
+    _rids.counter = itertools.count()

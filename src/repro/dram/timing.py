@@ -1,4 +1,12 @@
-"""Independent validator for DRAM command streams.
+"""DRAM timing tables and the independent command-stream validator.
+
+:class:`TimingTable` precomputes the per-bank timing constants the
+scheduler's hot path consumes — every parameter as a float, plus the
+derived sums the ready-time queries would otherwise re-derive on each
+candidate fold (CAS latencies, the activate-to-activate floor). The
+:class:`~repro.config.timing.DRAMTimings` dataclass stays the single
+source of truth; the table is a flattened, simulation-ready view built
+once per channel.
 
 The event-driven channel model computes ready times incrementally for
 speed. :class:`TimingChecker` replays a logged command stream and
@@ -25,6 +33,54 @@ from typing import Iterable
 from repro.config.timing import DRAMTimings
 from repro.dram.commands import CommandRecord, DRAMCommand
 from repro.errors import TimingViolationError
+
+
+@dataclass(frozen=True, slots=True)
+class TimingTable:
+    """Precomputed float timing constants for the scheduler hot path.
+
+    Integer :class:`~repro.config.timing.DRAMTimings` fields are exact
+    small integers, so converting them to floats once here changes no
+    arithmetic result — event times are floats anyway — while sparing
+    the candidate fold an ``int``/``float`` coercion per comparison and
+    a dataclass attribute walk per constraint.
+    """
+
+    tCL: float
+    tCWL: float
+    tCCD: float
+    tRRD: float
+    tRCD: float
+    tRP: float
+    tRAS: float
+    tRC: float
+    tBURST: float
+    tWR: float
+    tCDLR: float
+    tREFI: float
+    tRFC: float
+    #: Read/write CAS latency pair indexed by ``is_write``.
+    cas: tuple[float, float]
+
+    @classmethod
+    def from_timings(cls, tm: DRAMTimings) -> "TimingTable":
+        """Flatten ``tm`` into the simulation-ready constant table."""
+        return cls(
+            tCL=float(tm.tCL),
+            tCWL=float(tm.tCWL),
+            tCCD=float(tm.tCCD),
+            tRRD=float(tm.tRRD),
+            tRCD=float(tm.tRCD),
+            tRP=float(tm.tRP),
+            tRAS=float(tm.tRAS),
+            tRC=float(tm.tRC),
+            tBURST=float(tm.tBURST),
+            tWR=float(tm.tWR),
+            tCDLR=float(tm.tCDLR),
+            tREFI=float(tm.tREFI),
+            tRFC=float(tm.tRFC),
+            cas=(float(tm.tCL), float(tm.tCWL)),
+        )
 
 
 @dataclass

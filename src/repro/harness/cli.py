@@ -260,6 +260,11 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="simulate up to N matrix cells in parallel",
     )
     parser.add_argument(
+        "--threads", action="store_true",
+        help="fan --jobs out over worker threads instead of processes "
+        "(no serialization; best for cache-dominated sweeps)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent result cache",
     )
@@ -296,7 +301,7 @@ def _table_main(argv: list[str]) -> int:
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     runner = Runner(
         scale=args.scale, seed=args.seed, device=args.device,
-        verbose=not args.quiet, jobs=args.jobs,
+        verbose=not args.quiet, jobs=args.jobs, threads=args.threads,
         cache=None if args.no_cache else ResultCache(),
     )
     try:
@@ -345,7 +350,8 @@ def _matrix_main(argv: list[str]) -> int:
     for device in devices:
         runner = Runner(
             scale=args.scale, seed=args.seed, device=device,
-            verbose=not args.quiet, jobs=args.jobs, cache=cache,
+            verbose=not args.quiet, jobs=args.jobs, threads=args.threads,
+            cache=cache,
         )
         try:
             print(
@@ -732,6 +738,24 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate up to N matrix cells in parallel worker processes",
     )
     parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="fan --jobs out over worker threads instead of processes "
+        "(no serialization; best for cache-dominated sweeps)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every simulated cell with cProfile and report the "
+        "top cumulative frames (forces serial execution)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the per-cell profile report here (default: stderr)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the persistent result cache (same as REPRO_NO_CACHE=1)",
@@ -794,6 +818,8 @@ def main(argv: list[str] | None = None) -> int:
         device=args.device,
         verbose=not args.quiet,
         jobs=args.jobs,
+        threads=args.threads,
+        profile=args.profile,
         cache=None if args.no_cache else ResultCache(),
         retries=args.retries,
         cell_timeout=args.cell_timeout,
@@ -829,10 +855,30 @@ def main(argv: list[str] | None = None) -> int:
             continue
         print(result.text)
         print()
+    if runner.profiles:
+        _emit_profiles(runner.profiles, args.profile_out)
     if runner.failures:
         _emit_failures(runner.failures, args.failures_out)
         exit_code = EXIT_PARTIAL if args.keep_going else EXIT_FAILED
     return exit_code
+
+
+def _emit_profiles(profiles: list[dict], out_path: str | None) -> None:
+    """Write the per-cell cProfile report (``--profile``)."""
+    sections = [
+        f"== {p['app']} / {p['label']} ==\n{p['stats']}" for p in profiles
+    ]
+    text = "\n".join(sections)
+    if out_path:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(
+            f"profile report ({len(profiles)} cell(s)) written to {path}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, file=sys.stderr)
 
 
 def _emit_failures(failures, out_path: str | None) -> None:

@@ -12,10 +12,16 @@ Three layers keep repeated figure reproductions cheap:
    cache replays a whole matrix with zero simulations, across processes
    and sessions. ``REPRO_NO_CACHE=1`` bypasses it.
 3. **Parallel execution** — ``Runner(jobs=N)`` fans the independent
-   cells of :meth:`Runner.run_matrix` out over a
-   :class:`~concurrent.futures.ProcessPoolExecutor`. Cells are
-   deduplicated by content key before dispatch, and every cell (serial
-   or parallel) resets the global request-id counter first, so serial,
+   cells of :meth:`Runner.run_matrix` out over a persistent
+   :class:`~repro.harness.pool.WarmPool`: workers import the simulation
+   stack once, receive cells *batched* over the codec wire format, and
+   survive across ``run_matrix`` calls (so a benchmark loop pays the
+   spawn cost once — :meth:`Runner.prewarm` pays it ahead of timing).
+   ``Runner(threads=True)`` runs the same fan-out on threads instead of
+   processes — no serialization at all, useful for cache-dominated or
+   tiny matrices. Cells are deduplicated by content key before
+   dispatch, and every cell (serial or parallel) resets its thread's
+   request-id counter first, so serial, process-parallel, thread-
    parallel, and cached runs produce field-identical reports.
 
 On top of those sits the **fault-tolerance layer** (DESIGN goal: a
@@ -24,13 +30,14 @@ single crashed or hung worker must not throw away a whole sweep):
 * every cell gets up to ``1 + retries`` attempts, retried after a
   deterministic (jitter-free) exponential backoff of
   ``retry_backoff * 2**(attempt-1)`` seconds;
-* ``cell_timeout`` bounds each attempt's wall-clock time — an expired
-  cell's worker is killed, the pool rebuilt, and innocent in-flight
-  cells are resubmitted *without* being charged an attempt;
-* a dead worker (``BrokenProcessPool``) triggers an automatic pool
-  rebuild; every in-flight cell is charged one
-  :class:`~repro.errors.WorkerCrashError` attempt (the executor cannot
-  attribute the crash) and retried;
+* ``cell_timeout`` bounds each attempt's wall-clock time — the pool
+  kills *exactly* the worker hosting the expired cell and respawns it;
+  innocent in-flight cells keep running undisturbed (the seed executor
+  could only tear down the whole pool);
+* a dead worker fails its own in-flight cells with a
+  :class:`~repro.errors.WorkerCrashError` attempt each and its slot is
+  respawned automatically (counted in ``harness.pool_rebuilds``);
+  other workers are untouched;
 * cells that exhaust their retries are quarantined into structured
   :class:`~repro.harness.faults.CellFailure` records. With
   ``keep_going`` the matrix still returns every healthy cell (a
@@ -47,12 +54,15 @@ single crashed or hung worker must not throw away a whole sweep):
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 import sys
 import time
 import traceback as traceback_mod
+import weakref
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Deque, Iterable, Optional
 
@@ -62,6 +72,7 @@ from repro.dram.request import reset_request_ids
 from repro.errors import CellFailedError, CellTimeoutError, WorkerCrashError
 from repro.harness.cache import ResultCache, cache_key
 from repro.harness.faults import CellFailure, FaultPlan, corrupt_blob
+from repro.harness.pool import WarmPool
 from repro.sim.report import SimReport
 from repro.sim.spec import SimSpec
 from repro.sim.system import GPUSystem, simulate_spec
@@ -78,6 +89,11 @@ from repro.telemetry.hub import (
     MetricsHub,
 )
 from repro.workloads.registry import get_workload
+
+#: Stack frames kept per cell by the ``--profile`` capture (sorted by
+#: cumulative time; enough to see the scheduler/engine split without
+#: drowning the report).
+PROFILE_TOP_N = 30
 
 
 @dataclass(frozen=True)
@@ -144,21 +160,6 @@ def _simulate_cell(
     start = time.perf_counter()
     report = simulate_spec(workload, spec.sim_spec)
     return report, time.perf_counter() - start
-
-
-def _simulate_cell_worker(
-    item: tuple[str, CellSpec, Optional[FaultPlan], Optional[int], int]
-) -> tuple[str, SimReport, float]:
-    """Pool entry point: tags the result with its cache key."""
-    key, spec, faults, index, attempt = item
-    report, elapsed = _simulate_cell(
-        spec,
-        faults=faults,
-        cell_index=index,
-        attempt=attempt,
-        in_worker=True,
-    )
-    return key, report, elapsed
 
 
 @dataclass
@@ -239,8 +240,16 @@ class Runner:
     supervised fault tolerance.
 
     ``jobs`` controls matrix fan-out (1 = serial in-process; N > 1 uses a
-    process pool of N workers). ``cache=None`` disables the persistent
-    disk layer; the default honours ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``.
+    persistent :class:`~repro.harness.pool.WarmPool` of N workers that
+    survives across ``run_matrix`` calls — :meth:`prewarm` spins it up
+    ahead of time). ``threads=True`` swaps the worker processes for
+    threads (no pickling/fork cost; ignored while a ``cell_timeout`` is
+    armed, because a thread cannot be killed). ``profile=True`` wraps
+    every in-process cell in :mod:`cProfile` and collects the top
+    cumulative frames into :attr:`profiles` (forces serial execution —
+    a worker process cannot be profiled from the parent).
+    ``cache=None`` disables the persistent disk layer; the default
+    honours ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``.
 
     Fault-tolerance knobs (see the module docstring):
 
@@ -261,6 +270,10 @@ class Runner:
     device: Optional[str] = None
     verbose: bool = True
     jobs: int = 1
+    #: Use worker threads instead of processes for matrix fan-out.
+    threads: bool = False
+    #: Capture a cProfile per simulated cell (serial runs only).
+    profile: bool = False
     cache: Optional[ResultCache] = field(default_factory=ResultCache)
     retries: int = 1
     retry_backoff: float = 0.05
@@ -273,7 +286,10 @@ class Runner:
     #: Every quarantined cell over this runner's life (the manifest the
     #: CLI serializes). Sub-runners share the parent's list.
     failures: list[CellFailure] = field(default_factory=list)
+    #: ``--profile`` captures: {"app", "label", "stats"} per cell.
+    profiles: list[dict] = field(default_factory=list)
     _memo: dict[str, SimReport] = field(default_factory=dict)
+    _pool: Optional[WarmPool] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     def _spec(
@@ -292,6 +308,79 @@ class Runner:
     def _log(self, app: str, label: str, detail: str) -> None:
         if self.verbose:
             print(f"  [{app} / {label}] {detail}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Warm worker pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int) -> WarmPool:
+        """The persistent pool, (re)built only when it must grow or
+        change mode — a larger pool than requested is reused as-is,
+        since idle warm workers are cheaper than a rebuild."""
+        threads = self.threads and self.cell_timeout is None
+        pool = self._pool
+        if pool is not None and (
+            pool.closed or pool.size < workers or pool.threads != threads
+        ):
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            inc = self.metrics.inc
+            pool = WarmPool(
+                workers,
+                threads=threads,
+                on_rebuild=lambda: inc(HARNESS_POOL_REBUILDS),
+            )
+            self._pool = pool
+            # The pool outlives individual matrices by design; tie its
+            # lifetime to the runner's so an abandoned runner does not
+            # leak worker processes.
+            weakref.finalize(self, pool.shutdown)
+        return pool
+
+    def prewarm(self, jobs: Optional[int] = None) -> None:
+        """Spawn the worker pool ahead of ``run_matrix`` so the first
+        timed sweep does not pay process start-up and import costs."""
+        jobs = self.jobs if jobs is None else jobs
+        if jobs > 1 or self.cell_timeout is not None:
+            self._ensure_pool(max(1, jobs))
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent). The runner stays
+        usable — the next pooled matrix simply rebuilds the pool."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _simulate_inline(
+        self,
+        spec: CellSpec,
+        label: str,
+        *,
+        faults: Optional[FaultPlan] = None,
+        cell_index: Optional[int] = None,
+        attempt: int = 1,
+    ) -> tuple[SimReport, float]:
+        """In-process simulation, optionally under the profiler."""
+        if not self.profile:
+            return _simulate_cell(
+                spec, faults=faults, cell_index=cell_index, attempt=attempt
+            )
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _simulate_cell(
+                spec, faults=faults, cell_index=cell_index, attempt=attempt
+            )
+        finally:
+            profiler.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+            self.profiles.append(
+                {"app": spec.app, "label": label,
+                 "stats": buffer.getvalue()}
+            )
 
     def _finish(
         self, key: str, spec: CellSpec, label: str,
@@ -342,7 +431,7 @@ class Runner:
                 self._log(app, label, "disk cache hit")
                 self._memo[key] = report
                 return report
-        report, elapsed = _simulate_cell(spec)
+        report, elapsed = self._simulate_inline(spec, label)
         return self._finish(key, spec, label, report, elapsed)
 
     # ------------------------------------------------------------------
@@ -445,8 +534,11 @@ class Runner:
                 for i, (key, (spec, label)) in enumerate(todo.items())
             ]
             use_pool = (
-                (jobs > 1 and len(tasks) > 1)
-                or self.cell_timeout is not None
+                not self.profile  # workers cannot be profiled from here
+                and (
+                    (jobs > 1 and len(tasks) > 1)
+                    or self.cell_timeout is not None
+                )
             )
             if use_pool:
                 failures = self._run_supervised(tasks, max(jobs, 1))
@@ -517,8 +609,9 @@ class Runner:
             while True:
                 start = time.perf_counter()
                 try:
-                    report, elapsed = _simulate_cell(
+                    report, elapsed = self._simulate_inline(
                         task.spec,
+                        task.label,
                         faults=self.faults,
                         cell_index=task.index,
                         attempt=task.attempts + 1,
@@ -539,63 +632,66 @@ class Runner:
         return failures
 
     # ------------------------------------------------------------------
-    # Supervised process pool
+    # Supervised warm-worker pool
     # ------------------------------------------------------------------
     def _run_supervised(
         self, tasks: list[_CellTask], jobs: int
     ) -> list[CellFailure]:
-        """Fan cells out over a supervised, self-healing process pool.
+        """Fan cells out over the persistent, self-healing warm pool.
 
-        At most ``workers`` futures are in flight at once, so every
-        submitted future is actually *running* — which makes
-        ``submit time + cell_timeout`` an accurate kill deadline. A
-        breached deadline or a broken pool kills the worker processes,
-        rebuilds the executor, and resubmits the innocent in-flight
-        cells without charging them an attempt.
+        Two dispatch regimes:
+
+        * no ``cell_timeout`` — the whole queue is dispatched at once,
+          batched one pipe message per worker, and results stream back
+          as they complete;
+        * with a ``cell_timeout`` — at most ``workers`` cells are in
+          flight, each on its own worker (the pool assigns
+          least-loaded), so every submitted future is actually
+          *running* and ``submit time + cell_timeout`` is an accurate
+          kill deadline. A breached deadline kills exactly the worker
+          hosting the expired cell; innocent in-flight neighbours keep
+          running undisturbed.
+
+        A worker that dies fails only its own in-flight futures (as
+        :class:`~repro.errors.WorkerCrashError` attempts, charged here
+        through the ordinary retry path) and its slot respawns inside
+        the pool — there is no whole-pool teardown to recover from.
         """
         failures: list[CellFailure] = []
         workers = max(1, min(jobs, len(tasks)))
+        pool = self._ensure_pool(workers)
         queue: Deque[_CellTask] = deque(tasks)
         running: dict = {}  # future -> (task, submit_time, deadline)
-        pool = ProcessPoolExecutor(max_workers=workers)
+        limit = workers if self.cell_timeout is not None else len(tasks)
 
         def submit_ready(now: float) -> None:
-            nonlocal pool
+            batch: list[_CellTask] = []
             scanned = 0
-            while queue and len(running) < workers and scanned < len(queue):
+            while (
+                queue
+                and len(running) + len(batch) < limit
+                and scanned < len(queue)
+            ):
                 task = queue.popleft()
                 if task.next_ready > now:
                     queue.append(task)
                     scanned += 1
                     continue
-                try:
-                    future = pool.submit(
-                        _simulate_cell_worker,
-                        (
-                            task.key, task.spec, self.faults,
-                            task.index, task.attempts + 1,
-                        ),
-                    )
-                except BrokenProcessPool:
-                    # The pool died between iterations: the task goes
-                    # back to the front, in-flight cells are charged a
-                    # crash attempt, and the pool is rebuilt.
-                    queue.appendleft(task)
-                    for _, (victim, submitted, _) in list(running.items()):
-                        fail_attempt(
-                            victim,
-                            WorkerCrashError(
-                                "process pool broke while cell in flight"
-                            ),
-                            now - submitted,
-                        )
-                    running.clear()
-                    pool = rebuild_pool(pool)
-                    continue
-                deadline = (
-                    now + self.cell_timeout
-                    if self.cell_timeout is not None else None
+                batch.append(task)
+            if not batch:
+                return
+            futures = pool.submit_many([
+                (
+                    task.key, task.spec, self.faults,
+                    task.index, task.attempts + 1,
                 )
+                for task in batch
+            ])
+            deadline = (
+                now + self.cell_timeout
+                if self.cell_timeout is not None else None
+            )
+            for task, future in zip(batch, futures):
                 running[future] = (task, now, deadline)
 
         def requeue(task: _CellTask, delay: float) -> None:
@@ -608,115 +704,63 @@ class Runner:
             if self._charge_attempt(task, exc, elapsed, failures):
                 requeue(task, self._backoff_delay(task))
 
-        def rebuild_pool(current: ProcessPoolExecutor) -> ProcessPoolExecutor:
-            # Kill any worker still alive (a hung worker would otherwise
-            # survive shutdown(wait=False) indefinitely), then replace
-            # the executor wholesale.
-            for proc in list(getattr(current, "_processes", {}).values()):
-                try:
-                    proc.terminate()
-                except Exception:
-                    pass
-            try:
-                current.shutdown(wait=False, cancel_futures=True)
-            except Exception:
-                pass
-            self.metrics.inc(HARNESS_POOL_REBUILDS)
-            return ProcessPoolExecutor(max_workers=workers)
-
-        try:
-            while queue or running:
-                now = time.monotonic()
-                submit_ready(now)
-                if not running:
-                    # Nothing in flight: sleep until the earliest retry.
-                    wake = min(task.next_ready for task in queue)
-                    time.sleep(max(0.0, wake - now))
-                    continue
-                wait_for: list[float] = []
-                deadlines = [
-                    dl for (_, _, dl) in running.values() if dl is not None
-                ]
-                if deadlines:
-                    wait_for.append(min(deadlines) - now)
-                if queue and len(running) < workers:
-                    wait_for.append(
-                        min(t.next_ready for t in queue) - now
-                    )
-                timeout = max(0.0, min(wait_for)) if wait_for else None
-                done, _ = wait(
-                    set(running), timeout=timeout,
-                    return_when=FIRST_COMPLETED,
+        while queue or running:
+            now = time.monotonic()
+            submit_ready(now)
+            if not running:
+                # Nothing in flight: sleep until the earliest retry.
+                wake = min(task.next_ready for task in queue)
+                time.sleep(max(0.0, wake - now))
+                continue
+            wait_for: list[float] = []
+            deadlines = [
+                dl for (_, _, dl) in running.values() if dl is not None
+            ]
+            if deadlines:
+                wait_for.append(min(deadlines) - now)
+            if queue and len(running) < limit:
+                wait_for.append(
+                    min(t.next_ready for t in queue) - now
                 )
-                now = time.monotonic()
-                broken = False
-                for future in done:
-                    task, submitted, _ = running.pop(future)
-                    try:
-                        key, report, elapsed = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        fail_attempt(
-                            task,
-                            WorkerCrashError(
-                                "worker process died while simulating "
-                                f"{task.spec.app}/{task.label}"
-                            ),
-                            now - submitted,
-                        )
-                    except Exception as exc:
-                        fail_attempt(task, exc, now - submitted)
-                    else:
-                        self._finish(
-                            key, task.spec, task.label, report, elapsed,
-                            chaos_index=task.index,
-                        )
-                if broken:
-                    # The whole pool is dead; every other in-flight cell
-                    # went down with it and is charged a crash attempt
-                    # (the executor cannot attribute the death).
-                    for future, (task, submitted, _) in running.items():
-                        fail_attempt(
-                            task,
-                            WorkerCrashError(
-                                "process pool broke while cell in flight"
-                            ),
-                            now - submitted,
-                        )
-                    running.clear()
-                    pool = rebuild_pool(pool)
-                    continue
-                if not done:
-                    expired = [
-                        (future, task, submitted)
-                        for future, (task, submitted, dl) in running.items()
-                        if dl is not None and dl <= now
-                    ]
-                    if expired:
-                        survivors = [
-                            task
-                            for future, (task, _, dl) in running.items()
-                            if not (dl is not None and dl <= now)
-                        ]
-                        for future, task, submitted in expired:
-                            fail_attempt(
-                                task,
-                                CellTimeoutError(
-                                    f"{task.spec.app}/{task.label} exceeded "
-                                    f"the {self.cell_timeout:.1f}s per-cell "
-                                    "wall-clock timeout"
-                                ),
-                                now - submitted,
-                            )
-                        # Innocent neighbours are resubmitted for free:
-                        # the kill below takes their workers down too.
-                        for task in survivors:
-                            requeue(task, 0.0)
-                        running.clear()
-                        pool = rebuild_pool(pool)
-        finally:
-            try:
-                pool.shutdown(wait=False, cancel_futures=True)
-            except Exception:
-                pass
+            timeout = max(0.0, min(wait_for)) if wait_for else None
+            done, _ = wait(
+                set(running), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            for future in done:
+                task, submitted, _ = running.pop(future)
+                try:
+                    key, report, elapsed = future.result()
+                except Exception as exc:
+                    # Includes WorkerCrashError set by the pool when a
+                    # worker died: only that worker's cells land here,
+                    # and its slot has already respawned.
+                    fail_attempt(task, exc, now - submitted)
+                else:
+                    self._finish(
+                        key, task.spec, task.label, report, elapsed,
+                        chaos_index=task.index,
+                    )
+            if not done:
+                expired = [
+                    (future, task, submitted)
+                    for future, (task, submitted, dl) in running.items()
+                    if dl is not None and dl <= now and not future.done()
+                ]
+                for future, task, submitted in expired:
+                    del running[future]
+                    # Surgical kill: only the hung cell's worker dies
+                    # (and respawns); the future was detached above, so
+                    # the one charged attempt is the timeout below.
+                    pool.kill_owner(future)
+                    fail_attempt(
+                        task,
+                        CellTimeoutError(
+                            f"{task.spec.app}/{task.label} exceeded "
+                            f"the {self.cell_timeout:.1f}s per-cell "
+                            "wall-clock timeout"
+                        ),
+                        now - submitted,
+                    )
         return failures

@@ -91,6 +91,17 @@ class MemoryController:
         self.drops: list[DropRecord] = []
         self._next_wake: Optional[float] = None
         self._wake_handle: int = -1
+        # Candidate memo between a service pass and its wake-up. Ready
+        # times are ``max(now, constraint)``: if candidate A won at t0
+        # with ready ra > t0, then at the wake time ra — with no state
+        # change in between — every rival's key is unchanged (a rival
+        # with an earlier ready would already have won at t0), so
+        # re-selecting returns A again. Every mutation path into the
+        # queue/channel/gate re-enters ``_service`` (submit, the window
+        # tick, command issue inside the loop), and ``_service``
+        # rewrites the memo at each of its return points, so the value
+        # read by ``_on_wake`` is always the latest selection.
+        self._cached_candidate = None
         self._line_bytes = config.l2.line_bytes
         self.ams.set_halted(self.dms.wants_ams_halted)
         # The profiling tick follows the *dynamic* units' window size;
@@ -128,12 +139,18 @@ class MemoryController:
         else:
             stats.reads_arrived += 1
             self.ams.on_read_arrival()
-        self.queue.offer(request, now)
+        admitted = self.queue.offer(request, now)
         self._window_arrivals += 1
         if self._needs_windows and not self._ticks_armed:
             self._ticks_armed = True
             self.engine.at(now + self._window_cycles, self._window_tick)
-        self._service()
+        # A deferred request sits in the ingress FIFO, invisible to the
+        # selector: the schedulable state is exactly what the previous
+        # service pass saw, and that pass — the queue is non-empty —
+        # already armed its wake-up. Re-servicing would re-derive the
+        # identical candidate and dedup against the same wake.
+        if admitted:
+            self._service()
 
     # ------------------------------------------------------------------
     # Profiling window tick (Dyn-DMS / Dyn-AMS)
@@ -167,9 +184,13 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Service loop (B)
     # ------------------------------------------------------------------
-    def _service(self) -> None:
+    def _service(self, cached=None) -> None:
         # Every engine event lands here; one selector call per issued
         # command, with the candidate fold inlined inside the selector.
+        # ``cached`` short-circuits the wake-up path: the candidate the
+        # previous pass already selected (and scheduled this wake for)
+        # is reused verbatim — see ``_cached_candidate`` — and any
+        # command issue below falls back to a fresh selection.
         now = self.engine.now
         channel = self.channel
         queue = self.queue
@@ -177,18 +198,23 @@ class MemoryController:
         notify = self._notify_issue
         may_drop = self.ams.may_drop
         refresh_enabled = channel.refresh_enabled
+        best = cached
         while True:
             if refresh_enabled and channel.refresh_due(now):
                 channel.issue_refresh(now)
+                best = None
                 continue
-            best = select(now)
             if best is None:
+                best = select(now)
+            if best is None:
+                self._cached_candidate = None
                 return  # queue empty: next arrival re-kicks us
             key, kind, bank, request = best
             ready = key[0]
             if refresh_enabled:
                 ready = min(ready, channel.next_refresh_time())
             if ready > now + _EPS:
+                self._cached_candidate = best
                 self._wake_at(ready)
                 return
             if kind == "col":
@@ -208,6 +234,7 @@ class MemoryController:
                     channel.issue_activate(bank, request.row, now)
             if notify is not None:
                 notify(kind, bank.index, request)
+            best = None  # state changed: the next pass re-selects
 
     def _issue_column(self, bank, request: MemoryRequest) -> None:
         now = self.engine.now
@@ -278,7 +305,7 @@ class MemoryController:
 
     def _on_wake(self) -> None:
         self._next_wake = None
-        self._service()
+        self._service(self._cached_candidate)
 
     # ------------------------------------------------------------------
     @property

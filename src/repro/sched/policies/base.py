@@ -79,18 +79,42 @@ class CandidateSelector(ABC):
         channel: "Channel",
         gate: "ActivationGate",
     ) -> None:
-        """Attach to one controller; hoist the hot-path bound methods."""
+        """Attach to one controller; hoist the hot-path state.
+
+        ``select`` folds candidates straight over the queue/channel
+        internals: the per-bank and per-row index dicts, the bank-group
+        column windows, and the flattened
+        :class:`~repro.dram.timing.TimingTable` floats. Those containers
+        are mutated in place by their owners, so the aliases hoisted
+        here stay live; the channel's scalar windows (command bus, data
+        bus, last ACT) are rebound per issue and are re-read inside each
+        ``select`` call instead.
+        """
         self._queue = queue
         self._channel = channel
         self._banks = channel.banks
         self._gate = gate
         self._earliest_eligible = gate.earliest_eligible
+        #: The gate's OFF mode maps enqueue_time -> enqueue_time, and a
+        #: visible request always enqueued at or before ``now`` — below
+        #: every ready time — so a disabled gate is skipped entirely.
+        #: ``enabled`` is mode-derived and constant for a run.
+        self._gate_enabled = gate.enabled
         self._banks_with_pending = queue.banks_with_pending
         self._oldest_for_bank = queue.oldest_for_bank
         self._oldest_hit_for = queue.oldest_hit_for
         self._column_ready_time = channel.column_ready_time
         self._precharge_ready_time = channel.precharge_ready_time
         self._activate_ready_time = channel.activate_ready_time
+        # Live internal indexes (aliases; read-only in select).
+        self._pending_banks = queue.banks_with_pending()
+        self._by_bank = queue._by_bank
+        self._by_row = queue._by_row
+        self._group_earliest_col = channel._group_earliest_col
+        table = channel.table
+        self._tCL = table.tCL
+        self._tCWL = table.tCWL
+        self._tRRD = table.tRRD
 
     @abstractmethod
     def select(self, now: float) -> Optional[Candidate]:

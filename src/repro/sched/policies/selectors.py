@@ -7,9 +7,18 @@ so swapping selectors changes *which* commands compete, never how ties
 resolve.
 
 ``select`` is the simulator's hottest call (one per issued DRAM
-command): bound methods are hoisted to locals and the fold is inlined
-rather than factored through a ``consider()`` helper, which profiles at
-~15 % of total runtime in call overhead.
+command). The fold keeps the best key as three scalars and compares
+them branch-by-branch — the ``(ready, prio, enq)`` tuple is allocated
+once for the winner, never for losers — and the ready-time queries of
+:mod:`repro.dram.channel` are inlined against the structures ``bind``
+hoisted: bank slots, the per-row/per-bank index dicts, the bank-group
+column windows, and the :class:`~repro.dram.timing.TimingTable` floats.
+The arithmetic mirrors ``column_ready_time`` / ``precharge_ready_time``
+/ ``activate_ready_time`` expression-for-expression (the golden
+differential suite pins the reports bit-identical), and the per-bank
+index buckets are non-empty for every bank in ``banks_with_pending()``
+— a :meth:`~repro.sched.pending_queue.PendingQueue.check_invariants`
+invariant — so the FIFO heads are taken without a None guard.
 """
 
 from __future__ import annotations
@@ -18,12 +27,12 @@ from typing import Optional
 
 from repro.dram.bank import NO_ROW as _NO_ROW
 from repro.sched.policies.base import (
-    COL_PRIORITY as _COL,
-    SWITCH_PRIORITY as _SWITCH,
     Candidate,
     CandidateSelector,
     register_selector,
 )
+
+_INF = float("inf")
 
 
 @register_selector
@@ -39,46 +48,95 @@ class FRFCFSSelector(CandidateSelector):
     name = "frfcfs"
 
     def select(self, now: float) -> Optional[Candidate]:
-        best: Optional[Candidate] = None
+        channel = self._channel
+        next_cmd = channel._next_cmd_time
+        bus_free = channel._bus_free
+        act_floor = channel._last_act_any + self._tRRD
         banks = self._banks
-        oldest_hit_for = self._oldest_hit_for
-        oldest_for_bank = self._oldest_for_bank
-        column_ready_time = self._column_ready_time
-        precharge_ready_time = self._precharge_ready_time
-        activate_ready_time = self._activate_ready_time
+        by_bank = self._by_bank
+        by_row = self._by_row
+        group_col = self._group_earliest_col
+        tCL = self._tCL
+        tCWL = self._tCWL
+        gate_on = self._gate_enabled
         earliest_eligible = self._earliest_eligible
-        for bank_idx in self._banks_with_pending():
+        b_ready = _INF
+        b_prio = 2
+        b_enq = 0.0
+        b_kind = b_bank = b_req = None
+        for bank_idx in self._pending_banks:
             bank = banks[bank_idx]
             open_row = bank.open_row
-            is_open = open_row != _NO_ROW
-            if is_open:
-                hit = oldest_hit_for(bank_idx, open_row)
-                if hit is not None:
-                    ready = column_ready_time(bank, hit.is_write, now)
-                    key = (ready, _COL, hit.enqueue_time)
-                    if best is None or key < best[0]:
-                        best = (key, "col", bank, hit)
+            if open_row != _NO_ROW:
+                bucket = by_row.get((bank_idx, open_row))
+                if bucket:
+                    hit = next(iter(bucket.values()))
+                    is_write = hit.is_write
+                    t = (
+                        bank.earliest_col_wr
+                        if is_write
+                        else bank.earliest_col_rd
+                    )
+                    if t < now:
+                        t = now
+                    g = group_col[bank.bank_group]
+                    if t < g:
+                        t = g
+                    if t < next_cmd:
+                        t = next_cmd
+                    ds = t + (tCWL if is_write else tCL)
+                    if ds < bus_free:
+                        t += bus_free - ds
+                    enq = hit.enqueue_time
+                    if t < b_ready or (
+                        t == b_ready
+                        and (b_prio > 0 or enq < b_enq)
+                    ):
+                        b_ready = t
+                        b_prio = 0
+                        b_enq = enq
+                        b_kind = "col"
+                        b_bank = bank
+                        b_req = hit
                     continue
-            oldest = oldest_for_bank(bank_idx)
-            if oldest is None:
-                continue
+                oldest = next(iter(by_bank[bank_idx].values()))
+                t = bank.earliest_pre
+                if t < now:
+                    t = now
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "pre"
+            else:
+                oldest = next(iter(by_bank[bank_idx].values()))
+                t = bank.earliest_act
+                if t < now:
+                    t = now
+                if t < act_floor:
+                    t = act_floor
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "act"
             # The gate applies to the command that commits to opening a
             # new row: PRE for an open bank, ACT otherwise.
-            gate = earliest_eligible(oldest.enqueue_time)
-            if is_open:
-                ready = precharge_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "pre", bank, oldest)
-            else:
-                ready = activate_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "act", bank, oldest)
+            enq = oldest.enqueue_time
+            if gate_on:
+                g = earliest_eligible(enq)
+                if t < g:
+                    t = g
+            if t < b_ready or (
+                t == b_ready and b_prio == 1 and enq < b_enq
+            ):
+                b_ready = t
+                b_prio = 1
+                b_enq = enq
+                b_kind = kind
+                b_bank = bank
+                b_req = oldest
+        best = (
+            None
+            if b_kind is None
+            else ((b_ready, b_prio, b_enq), b_kind, b_bank, b_req)
+        )
         if self._close_row:
             best = self._consider_close_rows(best, now)
         return best
@@ -95,41 +153,88 @@ class FCFSSelector(CandidateSelector):
     name = "fcfs"
 
     def select(self, now: float) -> Optional[Candidate]:
-        best: Optional[Candidate] = None
+        channel = self._channel
+        next_cmd = channel._next_cmd_time
+        bus_free = channel._bus_free
+        act_floor = channel._last_act_any + self._tRRD
         banks = self._banks
-        oldest_for_bank = self._oldest_for_bank
-        column_ready_time = self._column_ready_time
-        precharge_ready_time = self._precharge_ready_time
-        activate_ready_time = self._activate_ready_time
+        by_bank = self._by_bank
+        group_col = self._group_earliest_col
+        tCL = self._tCL
+        tCWL = self._tCWL
+        gate_on = self._gate_enabled
         earliest_eligible = self._earliest_eligible
-        for bank_idx in self._banks_with_pending():
+        b_ready = _INF
+        b_prio = 2
+        b_enq = 0.0
+        b_kind = b_bank = b_req = None
+        for bank_idx in self._pending_banks:
             bank = banks[bank_idx]
             open_row = bank.open_row
             is_open = open_row != _NO_ROW
-            oldest = oldest_for_bank(bank_idx)
-            if oldest is None:
-                continue
+            oldest = next(iter(by_bank[bank_idx].values()))
+            enq = oldest.enqueue_time
             if is_open and oldest.row == open_row:
-                ready = column_ready_time(bank, oldest.is_write, now)
-                key = (ready, _COL, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "col", bank, oldest)
+                is_write = oldest.is_write
+                t = (
+                    bank.earliest_col_wr
+                    if is_write
+                    else bank.earliest_col_rd
+                )
+                if t < now:
+                    t = now
+                g = group_col[bank.bank_group]
+                if t < g:
+                    t = g
+                if t < next_cmd:
+                    t = next_cmd
+                ds = t + (tCWL if is_write else tCL)
+                if ds < bus_free:
+                    t += bus_free - ds
+                if t < b_ready or (
+                    t == b_ready and (b_prio > 0 or enq < b_enq)
+                ):
+                    b_ready = t
+                    b_prio = 0
+                    b_enq = enq
+                    b_kind = "col"
+                    b_bank = bank
+                    b_req = oldest
                 continue
-            gate = earliest_eligible(oldest.enqueue_time)
             if is_open:
-                ready = precharge_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "pre", bank, oldest)
+                t = bank.earliest_pre
+                if t < now:
+                    t = now
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "pre"
             else:
-                ready = activate_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "act", bank, oldest)
+                t = bank.earliest_act
+                if t < now:
+                    t = now
+                if t < act_floor:
+                    t = act_floor
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "act"
+            if gate_on:
+                g = earliest_eligible(enq)
+                if t < g:
+                    t = g
+            if t < b_ready or (
+                t == b_ready and b_prio == 1 and enq < b_enq
+            ):
+                b_ready = t
+                b_prio = 1
+                b_enq = enq
+                b_kind = kind
+                b_bank = bank
+                b_req = oldest
+        best = (
+            None
+            if b_kind is None
+            else ((b_ready, b_prio, b_enq), b_kind, b_bank, b_req)
+        )
         if self._close_row:
             best = self._consider_close_rows(best, now)
         return best
@@ -156,22 +261,30 @@ class FRFCFSCapSelector(CandidateSelector):
         self._streaks: dict[int, tuple[int, int]] = {}
 
     def select(self, now: float) -> Optional[Candidate]:
-        best: Optional[Candidate] = None
+        channel = self._channel
+        next_cmd = channel._next_cmd_time
+        bus_free = channel._bus_free
+        act_floor = channel._last_act_any + self._tRRD
         banks = self._banks
+        by_bank = self._by_bank
+        by_row = self._by_row
+        group_col = self._group_earliest_col
+        tCL = self._tCL
+        tCWL = self._tCWL
+        gate_on = self._gate_enabled
+        earliest_eligible = self._earliest_eligible
         cap = self._cap
         streaks = self._streaks
-        oldest_hit_for = self._oldest_hit_for
-        oldest_for_bank = self._oldest_for_bank
-        column_ready_time = self._column_ready_time
-        precharge_ready_time = self._precharge_ready_time
-        activate_ready_time = self._activate_ready_time
-        earliest_eligible = self._earliest_eligible
-        for bank_idx in self._banks_with_pending():
+        b_ready = _INF
+        b_prio = 2
+        b_enq = 0.0
+        b_kind = b_bank = b_req = None
+        for bank_idx in self._pending_banks:
             bank = banks[bank_idx]
             open_row = bank.open_row
-            is_open = open_row != _NO_ROW
-            if is_open:
-                hit = oldest_hit_for(bank_idx, open_row)
+            if open_row != _NO_ROW:
+                bucket = by_row.get((bank_idx, open_row))
+                hit = next(iter(bucket.values())) if bucket else None
                 if hit is not None:
                     streak = streaks.get(bank_idx)
                     if (
@@ -179,33 +292,73 @@ class FRFCFSCapSelector(CandidateSelector):
                         and streak[0] == open_row
                         and streak[1] >= cap
                     ):
-                        oldest = oldest_for_bank(bank_idx)
-                        if oldest is not None and oldest.row != open_row:
+                        oldest = next(iter(by_bank[bank_idx].values()))
+                        if oldest.row != open_row:
                             hit = None  # capped: force the row switch
                 if hit is not None:
-                    ready = column_ready_time(bank, hit.is_write, now)
-                    key = (ready, _COL, hit.enqueue_time)
-                    if best is None or key < best[0]:
-                        best = (key, "col", bank, hit)
+                    is_write = hit.is_write
+                    t = (
+                        bank.earliest_col_wr
+                        if is_write
+                        else bank.earliest_col_rd
+                    )
+                    if t < now:
+                        t = now
+                    g = group_col[bank.bank_group]
+                    if t < g:
+                        t = g
+                    if t < next_cmd:
+                        t = next_cmd
+                    ds = t + (tCWL if is_write else tCL)
+                    if ds < bus_free:
+                        t += bus_free - ds
+                    enq = hit.enqueue_time
+                    if t < b_ready or (
+                        t == b_ready and (b_prio > 0 or enq < b_enq)
+                    ):
+                        b_ready = t
+                        b_prio = 0
+                        b_enq = enq
+                        b_kind = "col"
+                        b_bank = bank
+                        b_req = hit
                     continue
-            oldest = oldest_for_bank(bank_idx)
-            if oldest is None:
-                continue
-            gate = earliest_eligible(oldest.enqueue_time)
-            if is_open:
-                ready = precharge_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "pre", bank, oldest)
+                oldest = next(iter(by_bank[bank_idx].values()))
+                t = bank.earliest_pre
+                if t < now:
+                    t = now
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "pre"
             else:
-                ready = activate_ready_time(bank, now)
-                if ready < gate:
-                    ready = gate
-                key = (ready, _SWITCH, oldest.enqueue_time)
-                if best is None or key < best[0]:
-                    best = (key, "act", bank, oldest)
+                oldest = next(iter(by_bank[bank_idx].values()))
+                t = bank.earliest_act
+                if t < now:
+                    t = now
+                if t < act_floor:
+                    t = act_floor
+                if t < next_cmd:
+                    t = next_cmd
+                kind = "act"
+            enq = oldest.enqueue_time
+            if gate_on:
+                g = earliest_eligible(enq)
+                if t < g:
+                    t = g
+            if t < b_ready or (
+                t == b_ready and b_prio == 1 and enq < b_enq
+            ):
+                b_ready = t
+                b_prio = 1
+                b_enq = enq
+                b_kind = kind
+                b_bank = bank
+                b_req = oldest
+        best = (
+            None
+            if b_kind is None
+            else ((b_ready, b_prio, b_enq), b_kind, b_bank, b_req)
+        )
         if self._close_row:
             best = self._consider_close_rows(best, now)
         return best

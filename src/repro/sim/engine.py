@@ -1,33 +1,45 @@
 """Discrete-event simulation engine.
 
-A single global event heap ordered by (time, insertion sequence); all
-times are in *memory clock cycles* (see DESIGN.md §5). Insertion order
-breaks ties, making runs fully deterministic.
+Events execute in strict ``(time, insertion sequence)`` order; all times
+are in *memory clock cycles* (see DESIGN.md §5). Insertion order breaks
+ties, making runs fully deterministic.
 
-Events may be cancelled: :meth:`Engine.at` returns an opaque handle that
-:meth:`Engine.cancel` invalidates. A cancelled entry stays on the heap
-(heaps do not support removal) but is discarded unexecuted — and
-uncounted — when it surfaces, so superseded wake-ups cost one pop instead
-of a full callback.
+The ordering structure is pluggable (``backend=``): the default is the
+bucketed timer wheel of :mod:`repro.sim.events`, with the seed's global
+binary heap kept as the reference implementation. Both share tombstone
+cancellation: :meth:`Engine.at` returns an opaque handle that
+:meth:`Engine.cancel` invalidates in O(1) by blanking the entry's slot;
+a tombstoned entry is discarded unexecuted — and uncounted — when it
+surfaces, so superseded wake-ups cost one pop instead of a full
+callback, and :attr:`live_event_count` stays exact.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.events import make_scheduler
 
 Event = Callable[[], None]
+
+#: Environment override for the default scheduling backend (the
+#: wheel/heap differential runs set this instead of threading a
+#: parameter through every system constructor).
+_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
 
 
 class Engine:
     """Deterministic event-driven simulation core."""
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+    def __init__(self, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = os.environ.get(_BACKEND_ENV, "wheel")
+        self.backend = backend
+        self._sched = make_scheduler(backend)
+        self._push = self._sched.push  # hoisted: one call per event
         self._seq = 0
-        self._cancelled: set[int] = set()
         self.now: float = 0.0
         self.events_processed = 0
         self.events_cancelled = 0
@@ -46,8 +58,8 @@ class Engine:
         if time < self.now:
             time = self.now
         seq = self._seq
-        heapq.heappush(self._heap, (time, seq, fn))
         self._seq = seq + 1
+        self._push(time, seq, fn)
         return seq
 
     def after(self, delay: float, fn: Event) -> int:
@@ -57,23 +69,26 @@ class Engine:
         return self.at(self.now + delay, fn)
 
     def cancel(self, handle: int) -> None:
-        """Invalidate a scheduled event; it is dropped when it surfaces."""
-        self._cancelled.add(handle)
+        """Invalidate a scheduled event; it is dropped when it surfaces.
+
+        Cancelling a handle that already executed (or was never issued)
+        is harmless and leaves the live-event count untouched.
+        """
+        self._sched.cancel(handle)
         self.events_cancelled += 1
 
     @property
     def idle(self) -> bool:
         """True when no live events remain."""
-        self._drop_cancelled_head()
-        return not self._heap
+        return self._sched.head() is None
 
     @property
     def live_event_count(self) -> int:
         """Number of scheduled-but-unexecuted events, cancellations
         excluded. Telemetry's window recorder uses this to decide
-        whether re-arming itself would keep an otherwise-drained heap
-        alive."""
-        return len(self._heap) - len(self._cancelled)
+        whether re-arming itself would keep an otherwise-drained
+        schedule alive."""
+        return self._sched.live
 
     @property
     def events_scheduled(self) -> int:
@@ -88,54 +103,34 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when idle."""
-        self._drop_cancelled_head()
-        return self._heap[0][0] if self._heap else None
-
-    def _drop_cancelled_head(self) -> None:
-        heap = self._heap
-        cancelled = self._cancelled
-        while heap and heap[0][1] in cancelled:
-            cancelled.discard(heap[0][1])
-            heapq.heappop(heap)
+        entry = self._sched.head()
+        return entry[0] if entry is not None else None
 
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> None:
-        """Process events until the heap drains, ``until`` is passed, or
-        ``max_events`` have run (a deadlock/runaway guard)."""
-        processed = 0
-        heap = self._heap
-        cancelled = self._cancelled
-        pop = heapq.heappop
-        while heap:
-            time, seq, fn = heap[0]
-            if cancelled:
-                if seq in cancelled:
-                    cancelled.discard(seq)
-                    pop(heap)
-                    continue
-            if until is not None and time > until:
-                break
-            pop(heap)
-            self.now = time
-            fn()
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                self.events_processed += processed
-                raise SimulationError(self._overflow_message(max_events))
+        """Process events until the schedule drains, ``until`` is passed,
+        or ``max_events`` have run (a deadlock/runaway guard).
+
+        The loop itself lives in the backend's ``drain`` (each backend
+        inlines its own structures); this wrapper folds the processed
+        count in and raises the livelock guard.
+        """
+        processed, overflowed = self._sched.drain(self, until, max_events)
         self.events_processed += processed
+        if overflowed:
+            raise SimulationError(self._overflow_message(max_events))
         if until is not None and self.now < until:
             self.now = until
 
     def _overflow_message(self, max_events: int) -> str:
         """Diagnostic snapshot for the ``max_events`` livelock guard."""
-        live = len(self._heap) - len(self._cancelled)
         detail = (
             f"exceeded max_events={max_events}; possible simulation "
             f"livelock (cycle={self.now:.0f}, "
-            f"queued_events={len(self._heap)}, live_events={live}, "
+            f"live_events={self._sched.live}, "
             f"total_processed={self.events_processed})"
         )
         if self.diagnostics is not None:

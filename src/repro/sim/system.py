@@ -6,6 +6,7 @@ exposes :func:`simulate`, the package's main entry point.
 
 from __future__ import annotations
 
+import gc
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cache.l2cache import DIRTY_FILL, L2Cache, L2Outcome
@@ -150,7 +151,7 @@ class GPUSystem:
     # Request path: SM -> crossbar -> L2 -> MC
     # ------------------------------------------------------------------
     def _mem_access(self, access: Access, warp: Warp) -> None:
-        ch = self.config.mapping.decode(access.addr).channel
+        ch = self.config.mapping.channel_of(access.addr)
         self._req_xbar.deliver(
             ch, lambda: self._l2_access(ch, access, warp)
         )
@@ -251,7 +252,18 @@ class GPUSystem:
             sampler = WindowSeries(self.telemetry, self)
             sampler.start()
         self.frontend.start()
-        self.engine.run(max_events=max_events)
+        # The event loop allocates short-lived containers (candidate
+        # keys, reply closures) at a rate that keeps the cyclic GC's
+        # gen-0 threshold firing constantly, yet none of them form
+        # cycles — refcounting reclaims everything. Park the collector
+        # for the loop; restore the caller's setting either way.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self.engine.run(max_events=max_events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if not self.frontend.all_finished:
             stuck = self.frontend.unfinished()
             # Attach the same diagnostics snapshot the max_events
