@@ -58,6 +58,10 @@ class Channel:
         self.command_log: Optional[list[CommandRecord]] = (
             [] if log_commands else None
         )
+        #: Optional ECC/fault-injection hook on served column commands
+        #: (:class:`repro.dram.ecc.ReadPathECC`); None keeps the read
+        #: path untouched — the hot loop pays one ``is None`` test.
+        self.read_path = None
         #: All-bank refresh (disabled by default; the paper's evaluation
         #: does not study refresh interference, but the substrate models
         #: it for completeness).
@@ -100,10 +104,20 @@ class Channel:
     # ------------------------------------------------------------------
     # Command execution
     # ------------------------------------------------------------------
+    def attach_read_path(self, read_path) -> None:
+        """Install an inject→decode hook on served column commands."""
+        self.read_path = read_path
+
     def issue_column(
-        self, bank: Bank, is_write: bool, now: float
+        self, bank: Bank, is_write: bool, now: float,
+        *, rid: Optional[int] = None,
     ) -> tuple[float, float]:
-        """Issue a RD/WR to the open row; returns ``(cmd_time, data_end)``."""
+        """Issue a RD/WR to the open row; returns ``(cmd_time, data_end)``.
+
+        ``rid`` identifies the memory request being served; when a read
+        path is attached it keys the deterministic fault draw for this
+        access (reads) or the encode accounting (writes).
+        """
         tb = self.table
         t = self.column_ready_time(bank, is_write, now)
         data_start = t + tb.cas[is_write]
@@ -114,6 +128,8 @@ class Channel:
         bank.do_column(t, is_write, data_end)
         self.stats.on_column(bank.index, is_write)
         self.stats.bus.add(data_start, data_end)
+        if self.read_path is not None:
+            self.read_path.on_access(rid, is_write)
         if self.command_log is not None:
             cmd = DRAMCommand.WRITE if is_write else DRAMCommand.READ
             self.command_log.append(

@@ -50,6 +50,10 @@ class DeviceModel:
     mem_clock_mhz: float
     #: One-line provenance note shown by ``repro-harness table --device``.
     description: str = ""
+    #: Width of the data word each ECC codeword protects (the device's
+    #: prefetch/interface granule: wider interfaces amortise check bits
+    #: over more data, narrower ones pay proportionally more overhead).
+    ecc_word_bits: int = 64
 
     def validate(self) -> None:
         """Check the whole model; raise :class:`ConfigError` on violation.
@@ -64,6 +68,10 @@ class DeviceModel:
         if self.mem_clock_mhz <= 0:
             raise ConfigError(
                 f"device {self.name!r}: mem_clock_mhz must be positive"
+            )
+        if self.ecc_word_bits < 8:
+            raise ConfigError(
+                f"device {self.name!r}: ecc_word_bits must be >= 8"
             )
         self.timings.validate()
         self.energy.validate()
@@ -160,6 +168,7 @@ def hbm_device() -> DeviceModel:
         ),
         mem_clock_mhz=500.0,
         description="HBM1 stack (500 MHz, row energy ~50 % at baseline)",
+        ecc_word_bits=128,
     )
 
 
@@ -187,6 +196,7 @@ def lpddr4_device() -> DeviceModel:
         ),
         mem_clock_mhz=800.0,
         description="LPDDR4-class mobile part (BL16, 800 MHz)",
+        ecc_word_bits=32,
     )
 
 

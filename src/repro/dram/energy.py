@@ -22,6 +22,9 @@ class EnergyBreakdown:
     row_nj: float
     access_nj: float
     background_nj: float
+    #: ECC encode/check energy (0.0 — and omitted from the JSON form —
+    #: unless an ECC read path was active).
+    ecc_nj: float = 0.0
 
     @property
     def dynamic_nj(self) -> float:
@@ -31,7 +34,9 @@ class EnergyBreakdown:
     @property
     def total_nj(self) -> float:
         """All components."""
-        return self.row_nj + self.access_nj + self.background_nj
+        return (
+            self.row_nj + self.access_nj + self.background_nj + self.ecc_nj
+        )
 
     @property
     def row_fraction(self) -> float:
@@ -45,11 +50,15 @@ def compute_energy(
     params: DRAMEnergyParams,
     elapsed_mem_cycles: float,
     mem_clock_mhz: float,
+    *,
+    ecc_nj: float = 0.0,
 ) -> EnergyBreakdown:
     """Aggregate per-channel statistics into an energy breakdown.
 
     ``background_nj`` = power (mW) x wall time (us) per channel; wall time
-    is ``elapsed_mem_cycles / mem_clock_mhz`` microseconds.
+    is ``elapsed_mem_cycles / mem_clock_mhz`` microseconds. ``ecc_nj`` is
+    the encode/check energy accumulated by the ECC read paths (zero when
+    no ECC is configured).
     """
     activations = reads = writes = refreshes = 0
     channels = 0
@@ -67,6 +76,7 @@ def compute_energy(
             params.background_mw * elapsed_us * channels
             + refreshes * params.e_ref_nj
         ),
+        ecc_nj=ecc_nj,
     )
 
 

@@ -30,11 +30,14 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
 from repro.sim.report import SimReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.spec import SimSpec
 
 #: Bump whenever the on-disk blob layout or simulator semantics change in
 #: a way that invalidates previously stored results.
@@ -44,7 +47,12 @@ from repro.sim.report import SimReport
 #: v3: keys carry the DRAM device name and the scheduler fingerprint
 #: gained the composable-pipeline fields (``arbiter`` registry names,
 #: ``hit_streak_cap``); v2 entries are plain misses.
-CACHE_FORMAT_VERSION = 3
+#: v4: keys embed the *entire* ``SimSpec.to_dict()`` payload (closing
+#: the silent-stale-cache class: every present and future spec field —
+#: including the new ``ecc``/``faults`` sections and the previously
+#: uncovered ``record_activations``/``telemetry`` flags — is hashed
+#: automatically); v3 entries are plain misses.
+CACHE_FORMAT_VERSION = 4
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -84,13 +92,22 @@ def cache_key(
     app: str,
     scale: float,
     seed: int,
-    scheduler: SchedulerConfig,
+    spec: Optional["SimSpec"] = None,
+    scheduler: Optional[SchedulerConfig] = None,
     config: Optional[GPUConfig] = None,
     device: Optional[str] = None,
     measure_error: bool = False,
     version: int = CACHE_FORMAT_VERSION,
 ) -> str:
     """Content hash identifying one simulation cell.
+
+    Preferred form: pass the full :class:`~repro.sim.spec.SimSpec` via
+    ``spec=`` — the key embeds ``spec.to_dict()`` wholesale, so every
+    spec field (present and future) is covered by construction; a field
+    omitted from ``to_dict`` is the only way to miss, and
+    ``tests/test_spec.py`` audits exactly that. The legacy keyword form
+    (``scheduler``/``config``/``device``/``measure_error``) builds the
+    equivalent spec and hashes identically.
 
     ``config=None`` hashes identically to the default :class:`GPUConfig`
     (that is what the simulator instantiates for it). ``device`` is the
@@ -99,14 +116,32 @@ def cache_key(
     changes the resolved config, so ``--device gddr5`` and the bare
     default stay distinguishable in the cache.
     """
+    from repro.sim.spec import SimSpec
+
+    if spec is None:
+        if scheduler is None:
+            raise TypeError(
+                "cache_key requires either spec= or scheduler="
+            )
+        spec = SimSpec(
+            scheduler=scheduler,
+            device=device,
+            config=config,
+            measure_error=measure_error,
+        )
+    spec_payload = spec.to_dict()
+    if spec_payload.get("config") is None:
+        # Preserve the documented equivalence: config=None keys the
+        # same as an explicit default GPUConfig.
+        from repro.config.codec import encode
+
+        spec_payload["config"] = encode(GPUConfig())
     payload = {
         "version": version,
         "app": app,
         "scale": scale,
         "seed": seed,
-        "device": device,
-        "measure_error": measure_error,
-        **config_fingerprint(scheduler, config),
+        "spec": spec_payload,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

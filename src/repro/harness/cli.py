@@ -367,6 +367,130 @@ def _matrix_main(argv: list[str]) -> int:
     return exit_code
 
 
+def _pareto_main(argv: list[str]) -> int:
+    """The ``repro-harness pareto`` subcommand: reliability sweep.
+
+    Sweeps scheme x device x ECC code with the bit-flip fault injector
+    enabled and prints the row-energy x application-error x FIT
+    frontier table (plus the carbon-per-GiB-year estimate per cell).
+    """
+    from repro.dram.ecc import ecc_names
+    from repro.harness.pareto import (
+        DEFAULT_SWEEP_P_BIT,
+        format_pareto_table,
+        mark_frontier,
+        resolve_scheme_token,
+        run_pareto,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness pareto",
+        description=(
+            "Reliability Pareto sweep: schemes x DRAM devices x ECC "
+            "codes with timing-dependent bit-flip injection; emits the "
+            "row-energy x app-error x FIT frontier with carbon "
+            "estimates."
+        ),
+    )
+    parser.add_argument(
+        "--schemes", default="base,dms2,ams", metavar="TOKENS",
+        help="comma-separated scheme tokens: catalogue ids plus "
+        "aliases base / dms / ams / dmsN (N x 128-cycle delay); "
+        "default base,dms2,ams",
+    )
+    parser.add_argument(
+        "--devices", default="gddr5,lpddr4",
+        help="comma-separated device presets "
+        f"(registered: {','.join(device_names())}; "
+        "default gddr5,lpddr4)",
+    )
+    parser.add_argument(
+        "--ecc", default="none,secded,bch",
+        help="comma-separated ECC codes "
+        f"(registered: {','.join(ecc_names())}; "
+        "default none,secded,bch)",
+    )
+    parser.add_argument(
+        "--apps", default="SCP",
+        help="comma-separated Table II applications (default: SCP)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload size multiplier (default 0.25: quick sweeps)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload data/trace seed"
+    )
+    parser.add_argument(
+        "--p-bit", type=float, default=DEFAULT_SWEEP_P_BIT,
+        help="per-bit flip probability at nominal timings "
+        f"(default {DEFAULT_SWEEP_P_BIT:g}; elevated so scaled-down "
+        "traces still see flips)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="simulate up to N cells in parallel per (device, ecc) group",
+    )
+    parser.add_argument(
+        "--threads", action="store_true",
+        help="fan --jobs out over worker threads instead of processes",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the rows as machine-readable JSON instead of a table",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    args = parser.parse_args(argv)
+    scheme_tokens = [t for t in args.schemes.split(",") if t.strip()]
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    ecc_codes = [c.strip() for c in args.ecc.split(",") if c.strip()]
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    try:
+        for token in scheme_tokens:
+            resolve_scheme_token(token)
+        for code in ecc_codes:
+            if code not in ecc_names():
+                raise ConfigError(
+                    f"unknown ECC code {code!r}; "
+                    f"registered: {', '.join(ecc_names())}"
+                )
+        for device in devices:
+            get_device(device)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    if not (scheme_tokens and devices and ecc_codes and apps):
+        parser.error("schemes, devices, ecc, and apps must be non-empty")
+    try:
+        rows = run_pareto(
+            apps=apps,
+            scheme_tokens=scheme_tokens,
+            devices=devices,
+            ecc_codes=ecc_codes,
+            scale=args.scale,
+            seed=args.seed,
+            p_bit=args.p_bit,
+            jobs=args.jobs,
+            threads=args.threads,
+            cache=None if args.no_cache else ResultCache(),
+            verbose=not args.quiet,
+        )
+    except CellFailedError as exc:
+        _emit_failures(exc.failures, None)
+        return EXIT_FAILED
+    mark_frontier(rows)
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2))
+    else:
+        print(format_pareto_table(rows))
+    return EXIT_OK
+
+
 def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
     """Host/port options shared by the service client subcommands."""
     from repro.service.server import DEFAULT_PORT
@@ -687,6 +811,8 @@ def main(argv: list[str] | None = None) -> int:
         return _table_main(argv[1:])
     if argv and argv[0] == "matrix":
         return _matrix_main(argv[1:])
+    if argv and argv[0] == "pareto":
+        return _pareto_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "submit":

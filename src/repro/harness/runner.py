@@ -66,6 +66,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Deque, Iterable, Optional
 
+from repro.config.faults import FaultConfig
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
 from repro.dram.request import reset_request_ids
@@ -108,6 +109,10 @@ class CellSpec:
     scheme: SchedulerConfig
     measure_error: bool
     device: Optional[str] = None
+    #: Registered ECC code protecting DRAM reads.
+    ecc: str = "none"
+    #: DRAM bit-flip fault model (None = disabled).
+    faults: Optional[FaultConfig] = None
 
     @property
     def sim_spec(self) -> SimSpec:
@@ -117,6 +122,8 @@ class CellSpec:
             device=self.device,
             config=self.config,
             measure_error=self.measure_error,
+            ecc=self.ecc,
+            faults=self.faults if self.faults is not None else FaultConfig(),
         )
 
     @property
@@ -126,10 +133,7 @@ class CellSpec:
             app=self.app,
             scale=self.scale,
             seed=self.seed,
-            scheduler=self.scheme,
-            config=self.config,
-            device=self.device,
-            measure_error=self.measure_error,
+            spec=self.sim_spec,
         )
 
 
@@ -268,6 +272,11 @@ class Runner:
     config: Optional[GPUConfig] = None
     #: Named DRAM device overlaying ``config`` (None = config-embedded).
     device: Optional[str] = None
+    #: Registered ECC code protecting DRAM reads in every cell.
+    ecc: str = "none"
+    #: DRAM bit-flip fault model for every cell (None = disabled).
+    #: Distinct from :attr:`faults`, which is the harness *chaos* plan.
+    fault_model: Optional[FaultConfig] = None
     verbose: bool = True
     jobs: int = 1
     #: Use worker threads instead of processes for matrix fan-out.
@@ -303,6 +312,8 @@ class Runner:
             scheme=scheme,
             measure_error=measure_error,
             device=self.device,
+            ecc=self.ecc,
+            faults=self.fault_model,
         )
 
     def _log(self, app: str, label: str, detail: str) -> None:
@@ -459,7 +470,12 @@ class Runner:
         hub = MetricsHub(window_cycles=window_cycles)
         system = GPUSystem.from_spec(
             SimSpec(
-                scheduler=scheme, device=self.device, config=self.config
+                scheduler=scheme, device=self.device, config=self.config,
+                ecc=self.ecc,
+                faults=(
+                    self.fault_model if self.fault_model is not None
+                    else FaultConfig()
+                ),
             ),
             log_commands=log_commands,
             telemetry=hub,

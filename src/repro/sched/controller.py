@@ -239,7 +239,7 @@ class MemoryController:
     def _issue_column(self, bank, request: MemoryRequest) -> None:
         now = self.engine.now
         _, data_end = self.channel.issue_column(
-            bank, request.is_write, now
+            bank, request.is_write, now, rid=request.rid
         )
         self.queue.remove(request, now)
         if not request.is_write:
@@ -281,6 +281,11 @@ class MemoryController:
             )
         self.ams.on_drop(len(victims))
         self.channel.stats.requests_dropped += len(victims)
+        # Dropped reads are answered by the VP unit and never issue a
+        # column command — by construction they cannot observe a faulty
+        # cell, the interaction the error-tolerance argument relies on.
+        if self.channel.read_path is not None:
+            self.channel.read_path.on_spared(len(victims))
         if self.telemetry.enabled:
             self.telemetry.inc(
                 f"mc{self.channel.channel_id}.ams.drops", len(victims)

@@ -88,6 +88,8 @@ def _width_bits(max_value: int) -> int:
 def derived_overhead(
     config: SchedulerConfig,
     device: Optional[DeviceModel] = None,
+    *,
+    ecc: Optional[str] = None,
 ) -> HardwareBudget:
     """Per-controller hardware with counter widths derived, not assumed.
 
@@ -102,6 +104,11 @@ def derived_overhead(
     inventory (multipliers/adders/muxes/comparators) is unchanged; only
     buffer bits vary. Useful for judging how the overhead claim scales
     to other devices and window settings.
+
+    ``ecc`` (a registered code name) adds the controller-side
+    check/correct hardware: one XOR-tree "adder" per check bit of the
+    device's word width, one comparator for the zero-syndrome test, and
+    a syndrome register. ``"none"`` and ``None`` add nothing.
     """
     total = HardwareBudget()
     if config.dms.mode is not DMSMode.OFF:
@@ -143,6 +150,19 @@ def derived_overhead(
         # sized by tREFI.
         total = total + HardwareBudget(
             buffer_bits=_width_bits(device.timings.tREFI)
+        )
+    if ecc is not None and ecc != "none":
+        from repro.dram.ecc import DEFAULT_ECC_WORD_BITS, get_ecc
+
+        word_bits = (
+            device.ecc_word_bits if device is not None
+            else DEFAULT_ECC_WORD_BITS
+        )
+        check = get_ecc(ecc).check_bits(word_bits)
+        total = total + HardwareBudget(
+            adders=check,  # one XOR tree per syndrome/check bit
+            comparators=1,  # zero-syndrome test
+            buffer_bits=check,  # syndrome register
         )
     return total
 

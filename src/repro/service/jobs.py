@@ -23,6 +23,7 @@ replay in milliseconds even after thousands of jobs.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import json
 import os
@@ -94,10 +95,7 @@ def job_content_key(
         app=app,
         scale=scale,
         seed=seed,
-        scheduler=spec.scheduler,
-        config=spec.config,
-        device=spec.device,
-        measure_error=effective_error,
+        spec=dataclasses.replace(spec, measure_error=effective_error),
     )
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.config.energy import DRAMEnergyParams
+from repro.dram.ecc import ECCSummary
 from repro.dram.energy import EnergyBreakdown, compute_energy
 from repro.dram.stats import ChannelStats, merge_rbl_histograms
 from repro.telemetry.series import Timeline
@@ -122,6 +123,10 @@ class SimReport:
     #: Windowed telemetry series; present only when the run was executed
     #: with a :class:`~repro.telemetry.hub.MetricsHub` attached.
     timeline: Optional[Timeline] = None
+    #: Reliability counters + FIT/carbon estimates; present only when an
+    #: ECC code or the fault injector was active (``None`` keeps the
+    #: serialized form — and the seed golden reports — unchanged).
+    ecc: Optional[ECCSummary] = None
 
     # ------------------------------------------------------------------
     @property
@@ -204,8 +209,14 @@ class SimReport:
     # Serialization (persistent result cache)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Lossless JSON-serializable form; see :meth:`from_dict`."""
-        return {
+        """Lossless JSON-serializable form; see :meth:`from_dict`.
+
+        Reliability fields are emitted only when active: the ``ecc``
+        section and the ``energy.ecc_nj`` component appear iff an ECC
+        read path ran, so reports from ECC-free runs — including every
+        pinned golden report — keep the exact pre-ECC key set.
+        """
+        payload = {
             "workload": self.workload,
             "scheme": self.scheme,
             "elapsed_mem_cycles": self.elapsed_mem_cycles,
@@ -237,10 +248,16 @@ class SimReport:
                 self.timeline.to_dict() if self.timeline is not None else None
             ),
         }
+        if self.energy.ecc_nj:
+            payload["energy"]["ecc_nj"] = self.energy.ecc_nj
+        if self.ecc is not None:
+            payload["ecc"] = self.ecc.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimReport":
         """Rebuild a report; ``from_dict(r.to_dict()) == r`` holds."""
+        ecc_data = data.get("ecc")
         return cls(
             workload=data["workload"],
             scheme=data["scheme"],
@@ -258,6 +275,10 @@ class SimReport:
             final_th_rbls=list(data["final_th_rbls"]),
             application_error=data["application_error"],
             timeline=Timeline.from_dict(data.get("timeline")),
+            ecc=(
+                ECCSummary.from_dict(ecc_data)
+                if ecc_data is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -278,6 +299,13 @@ class SimReport:
         ]
         if self.application_error is not None:
             lines.append(f"  app error      {self.application_error:.2%}")
+        if self.ecc is not None:
+            lines.append(
+                f"  ECC ({self.ecc.code})  corrected {self.ecc.words_corrected}"
+                f"  detected {self.ecc.words_detected}"
+                f"  silent {self.ecc.words_silent}"
+                f"  FIT {self.ecc.fit:.3g}"
+            )
         if self.timeline is not None:
             lines.append(
                 f"  telemetry      {len(self.timeline)} windows "

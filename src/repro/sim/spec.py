@@ -19,10 +19,13 @@ the fingerprint.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.config.codec import decode_optional, encode
+from repro.config.codec import decode, decode_optional, encode
+from repro.config.faults import FaultConfig
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
 from repro.errors import ConfigError
@@ -44,6 +47,10 @@ class SimSpec:
     record_activations: bool = True
     #: Attach a windowed-telemetry hub (``report.timeline``).
     telemetry: bool = False
+    #: Registered ECC code protecting DRAM reads (``"none"`` = raw).
+    ecc: str = "none"
+    #: Timing-dependent bit-flip fault model (disabled by default).
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -55,6 +62,10 @@ class SimSpec:
             get_device(self.device)  # raises ConfigError when unknown
         if self.config is not None:
             self.config.validate()
+        from repro.dram.ecc import get_ecc
+
+        get_ecc(self.ecc)  # raises ConfigError when unknown
+        self.faults.validate()
 
     def resolve_config(self) -> GPUConfig:
         """The concrete :class:`GPUConfig` this spec simulates on."""
@@ -75,7 +86,23 @@ class SimSpec:
             "measure_error": self.measure_error,
             "record_activations": self.record_activations,
             "telemetry": self.telemetry,
+            "ecc": self.ecc,
+            "faults": encode(self.faults),
         }
+
+    def content_seed(self) -> int:
+        """Deterministic 64-bit seed derived from the spec content.
+
+        Seeds the fault injector so flip sites are a pure function of
+        the spec — identical across serial, ``--jobs N``, and
+        ``--threads`` execution, and stable across sessions (no Python
+        hash randomisation involved).
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SimSpec":
@@ -86,7 +113,7 @@ class SimSpec:
             )
         known = {
             "scheduler", "device", "config", "measure_error",
-            "record_activations", "telemetry",
+            "record_activations", "telemetry", "ecc", "faults",
         }
         unknown = set(data) - known
         if unknown:
@@ -106,4 +133,10 @@ class SimSpec:
             measure_error=bool(data.get("measure_error", False)),
             record_activations=bool(data.get("record_activations", True)),
             telemetry=bool(data.get("telemetry", False)),
+            ecc=str(data.get("ecc", "none")),
+            faults=(
+                decode(FaultConfig, data["faults"], path="faults")
+                if data.get("faults") is not None
+                else FaultConfig()
+            ),
         )

@@ -109,13 +109,63 @@ class GPUSystem:
         """
         if telemetry is None and spec.telemetry:
             telemetry = MetricsHub()
-        return cls(
+        system = cls(
             config=spec.resolve_config(),
             scheduler=spec.scheduler,
             record_activations=spec.record_activations,
             log_commands=log_commands,
             telemetry=telemetry,
         )
+        system._attach_ecc(spec)
+        return system
+
+    def _attach_ecc(self, spec: SimSpec) -> None:
+        """Install per-channel ECC/fault read paths when the spec asks.
+
+        With ``ecc="none"`` and faults disabled this is a no-op — the
+        channels keep ``read_path=None`` and the hot path is untouched
+        (the differential tests pin that to the golden reports).
+        """
+        if spec.ecc == "none" and not spec.faults.enabled:
+            return
+        from repro.dram.devices import get_device
+        from repro.dram.ecc import (
+            DEFAULT_ECC_WORD_BITS,
+            FaultInjector,
+            ReadPathECC,
+            get_ecc,
+        )
+
+        code = get_ecc(spec.ecc)
+        word_bits = (
+            get_device(spec.device).ecc_word_bits
+            if spec.device is not None
+            else DEFAULT_ECC_WORD_BITS
+        )
+        line_bits = self.config.l2.line_bytes * 8
+        words_per_line = max(1, line_bits // word_bits)
+        stored_bits = words_per_line * code.codeword_bits(word_bits)
+        seed = spec.content_seed()
+        timings = self.config.timings
+        for channel in self.channels:
+            injector = None
+            if spec.faults.enabled:
+                injector = FaultInjector(
+                    spec.faults,
+                    trcd=timings.tRCD,
+                    trp=timings.tRP,
+                    seed=seed,
+                    channel_id=channel.channel_id,
+                    stored_bits=stored_bits,
+                )
+            channel.attach_read_path(
+                ReadPathECC(
+                    code=code,
+                    word_bits=word_bits,
+                    words_per_line=words_per_line,
+                    injector=injector,
+                )
+            )
 
     def _deadlock_snapshot(self) -> str:
         """Per-controller queue state for the engine's livelock error.
@@ -289,12 +339,30 @@ class GPUSystem:
             fills=sum(c.fills for c in self.l2s),
         )
         stats = [channel.stats for channel in self.channels]
+        read_paths = [
+            channel.read_path for channel in self.channels
+            if channel.read_path is not None
+        ]
         energy = compute_energy(
             stats,
             self.config.energy,
             elapsed_mem,
             self.config.mem_clock_mhz,
+            ecc_nj=sum(rp.energy_nj() for rp in read_paths),
         )
+        ecc_summary = None
+        if read_paths:
+            from repro.dram.ecc import summarize_read_paths
+
+            elapsed_us = (
+                elapsed_mem / self.config.mem_clock_mhz
+                if self.config.mem_clock_mhz else 0.0
+            )
+            ecc_summary = summarize_read_paths(
+                read_paths,
+                total_energy_nj=energy.total_nj,
+                elapsed_us=elapsed_us,
+            )
         drops = [d for mc in self.controllers for d in mc.drops]
         timeline = (
             sampler.finalize(elapsed_mem) if sampler is not None else None
@@ -313,6 +381,7 @@ class GPUSystem:
             final_dms_delays=[mc.dms.current_delay for mc in self.controllers],
             final_th_rbls=[mc.ams.th_rbl for mc in self.controllers],
             timeline=timeline,
+            ecc=ecc_summary,
         )
 
 

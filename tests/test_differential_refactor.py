@@ -63,6 +63,28 @@ def test_scheme_reproduces_seed_payload(scheme_id: str) -> None:
     assert report.to_dict() == GOLDEN["reports"][scheme_id]
 
 
+@pytest.mark.parametrize("scheme_id", sorted(SCHEMES))
+def test_disabled_ecc_hook_is_field_identical(scheme_id: str) -> None:
+    """``ecc="none"`` + faults off must be a zero-cost no-op.
+
+    The injection hook sits on the served-column path of every scheme;
+    with ECC and faults explicitly disabled the reports must stay
+    bit-identical to the pre-ECC golden payloads — no extra keys, no
+    energy delta, no counter drift.
+    """
+    from repro.config.faults import FaultConfig
+
+    scheme = SCHEMES[scheme_id]
+    report = make_runner(ecc="none", fault_model=FaultConfig()).run(
+        FIXTURE["workload"], scheme, label=scheme_id,
+        measure_error=scheme.ams.mode is not AMSMode.OFF,
+    )
+    payload = report.to_dict()
+    assert "ecc" not in payload
+    assert "ecc_nj" not in payload["energy"]
+    assert payload == GOLDEN["reports"][scheme_id]
+
+
 def test_named_gddr5_device_is_field_identical_to_default() -> None:
     """Selecting --device gddr5 must change nothing but the cache key."""
     report = make_runner(device="gddr5").run(

@@ -1,0 +1,345 @@
+"""Property suite for the ECC model registry and fault injector.
+
+Every registered code must honour its declared guarantee on *every*
+flip pattern Hypothesis can find: up to ``correct_t`` flips decode back
+to the original data, up to ``detect_d`` flips are at least flagged,
+and the clean path round-trips bit-exactly. Width/overhead invariants
+are pinned for every ``ecc_word_bits`` in the devices registry plus a
+randomised range, so a new device preset cannot silently pick a width
+the codes mishandle.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.faults import FaultConfig
+from repro.dram.devices import device_names, get_device
+from repro.dram.ecc import (
+    BCHCode,
+    DecodeResult,
+    ECCCode,
+    ECCStatus,
+    FaultInjector,
+    NoECC,
+    ParityCode,
+    SECDEDCode,
+    ecc_names,
+    estimate_carbon_per_gib_year,
+    estimate_fit,
+    get_ecc,
+    register_ecc,
+    word_outcome_probabilities,
+)
+from repro.errors import ConfigError
+
+#: Every data width a registered DRAM device can ask the codes to
+#: protect, plus small odd widths to stress the algebra.
+DEVICE_WIDTHS = sorted(
+    {get_device(name).ecc_word_bits for name in device_names()}
+)
+ALL_WIDTHS = sorted(set(DEVICE_WIDTHS) | {8, 11, 16, 27, 64})
+
+CODE_NAMES = ("none", "parity", "secded", "bch")
+
+codes = st.sampled_from([get_ecc(name) for name in CODE_NAMES])
+widths = st.sampled_from(ALL_WIDTHS)
+
+
+def data_words(data_bits: int):
+    return st.integers(min_value=0, max_value=(1 << data_bits) - 1)
+
+
+def flip_sets(code: ECCCode, data_bits: int, count: int):
+    """Exactly ``count`` distinct flip positions within the codeword."""
+    n = code.codeword_bits(data_bits)
+    return st.lists(
+        st.integers(min_value=0, max_value=n - 1),
+        min_size=count, max_size=count, unique=True,
+    )
+
+
+def corrupt(codeword: int, positions) -> int:
+    for pos in positions:
+        codeword ^= 1 << pos
+    return codeword
+
+
+class TestRegistry:
+    def test_all_expected_codes_registered(self) -> None:
+        assert set(CODE_NAMES) <= set(ecc_names())
+
+    def test_names_are_sorted(self) -> None:
+        assert ecc_names() == sorted(ecc_names())
+
+    def test_lookup_returns_the_named_code(self) -> None:
+        for name in CODE_NAMES:
+            assert get_ecc(name).name == name
+
+    def test_unknown_code_raises_with_listing(self) -> None:
+        with pytest.raises(ConfigError, match="secded"):
+            get_ecc("reed-solomon")
+
+    def test_register_rejects_anonymous_codes(self) -> None:
+        with pytest.raises(ConfigError, match="non-empty"):
+            register_ecc(ECCCode())
+
+    def test_width_below_one_bit_rejected(self) -> None:
+        for name in CODE_NAMES:
+            with pytest.raises(ConfigError, match=">= 1"):
+                get_ecc(name).check_bits(0)
+
+
+class TestWidthInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(code=codes, data_bits=st.integers(min_value=1, max_value=160))
+    def test_codeword_width_identity(
+        self, code: ECCCode, data_bits: int
+    ) -> None:
+        assert code.codeword_bits(data_bits) == (
+            data_bits + code.check_bits(data_bits)
+        )
+        assert code.storage_overhead(data_bits) >= 1.0
+        assert code.check_bits(data_bits) >= 0
+
+    def test_device_registry_widths_have_known_overheads(self) -> None:
+        # The widths the device presets actually use, pinned: a change
+        # to the Hamming/BCH construction that alters stored bits is a
+        # cache-semantics change and must be deliberate.
+        secded, bch = get_ecc("secded"), get_ecc("bch")
+        expected_secded = {32: 39, 64: 72, 128: 137}
+        expected_bch = {32: 44, 64: 78, 128: 144}
+        for width in DEVICE_WIDTHS:
+            assert secded.codeword_bits(width) == expected_secded[width]
+            assert bch.codeword_bits(width) == expected_bch[width]
+            assert get_ecc("parity").codeword_bits(width) == width + 1
+            assert get_ecc("none").codeword_bits(width) == width
+
+    @settings(max_examples=30, deadline=None)
+    @given(data_bits=st.integers(min_value=1, max_value=160))
+    def test_encoded_words_fit_the_declared_width(
+        self, data_bits: int
+    ) -> None:
+        all_ones = (1 << data_bits) - 1
+        for name in CODE_NAMES:
+            code = get_ecc(name)
+            n = code.codeword_bits(data_bits)
+            assert code.encode(all_ones, data_bits) < (1 << n)
+            assert code.encode(0, data_bits) < (1 << n)
+
+
+class TestCleanRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(code=codes, data_bits=widths, data=st.data())
+    def test_decode_of_encode_is_identity(
+        self, code: ECCCode, data_bits: int, data
+    ) -> None:
+        word = data.draw(data_words(data_bits))
+        result = code.decode(code.encode(word, data_bits), data_bits)
+        assert result == DecodeResult(data=word, status=ECCStatus.CLEAN)
+
+
+class TestGuarantees:
+    """encode → inject k flips → decode honours each code's contract."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(data_bits=widths, data=st.data())
+    def test_secded_corrects_any_single_flip(
+        self, data_bits: int, data
+    ) -> None:
+        code = get_ecc("secded")
+        word = data.draw(data_words(data_bits))
+        flips = data.draw(flip_sets(code, data_bits, 1))
+        result = code.decode(
+            corrupt(code.encode(word, data_bits), flips), data_bits
+        )
+        assert result.status is ECCStatus.CORRECTED
+        assert result.data == word
+
+    @settings(max_examples=120, deadline=None)
+    @given(data_bits=widths, data=st.data())
+    def test_secded_detects_any_double_flip(
+        self, data_bits: int, data
+    ) -> None:
+        code = get_ecc("secded")
+        word = data.draw(data_words(data_bits))
+        flips = data.draw(flip_sets(code, data_bits, 2))
+        result = code.decode(
+            corrupt(code.encode(word, data_bits), flips), data_bits
+        )
+        assert result.status is ECCStatus.DETECTED
+
+    @settings(max_examples=120, deadline=None)
+    @given(data_bits=widths, count=st.integers(min_value=1, max_value=3),
+           data=st.data())
+    def test_parity_detects_every_odd_flip_count(
+        self, data_bits: int, count: int, data
+    ) -> None:
+        code = get_ecc("parity")
+        word = data.draw(data_words(data_bits))
+        flips = data.draw(
+            flip_sets(code, data_bits, 2 * count - 1)  # 1, 3, or 5
+        )
+        result = code.decode(
+            corrupt(code.encode(word, data_bits), flips), data_bits
+        )
+        assert result.status is ECCStatus.DETECTED
+
+    @settings(max_examples=120, deadline=None)
+    @given(data_bits=widths, count=st.integers(min_value=1, max_value=2),
+           data=st.data())
+    def test_bch_corrects_up_to_t_flips(
+        self, data_bits: int, count: int, data
+    ) -> None:
+        code = get_ecc("bch")
+        assert isinstance(code, BCHCode) and code.correct_t == 2
+        word = data.draw(data_words(data_bits))
+        flips = data.draw(flip_sets(code, data_bits, count))
+        result = code.decode(
+            corrupt(code.encode(word, data_bits), flips), data_bits
+        )
+        assert result.status is ECCStatus.CORRECTED
+        assert result.data == word
+
+    @settings(max_examples=80, deadline=None)
+    @given(data_bits=widths, count=st.integers(min_value=1, max_value=4),
+           data=st.data())
+    def test_none_returns_corrupted_data_as_clean(
+        self, data_bits: int, count: int, data
+    ) -> None:
+        # The whole point of the sweep: unprotected cells pass flipped
+        # bits straight through with a CLEAN verdict (silent).
+        code = get_ecc("none")
+        word = data.draw(data_words(data_bits))
+        flips = data.draw(flip_sets(code, data_bits, count))
+        result = code.decode(
+            corrupt(code.encode(word, data_bits), flips), data_bits
+        )
+        assert result.status is ECCStatus.CLEAN
+        assert result.data == word ^ corrupt(0, flips)
+
+
+class TestClassify:
+    """The statistical path mirrors the guarantees, pessimistically."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(code=codes, flips=st.integers(min_value=0, max_value=8))
+    def test_classify_matches_declared_guarantee(
+        self, code: ECCCode, flips: int
+    ) -> None:
+        status = code.classify(flips)
+        if flips == 0:
+            assert status is ECCStatus.CLEAN
+        elif flips <= code.correct_t:
+            assert status is ECCStatus.CORRECTED
+        elif code.name == "parity":
+            assert status is (
+                ECCStatus.DETECTED if flips % 2 else ECCStatus.SILENT
+            )
+        elif flips <= code.detect_d:
+            assert status is ECCStatus.DETECTED
+        else:
+            assert status is ECCStatus.SILENT
+
+    def test_spot_checks(self) -> None:
+        assert NoECC().classify(1) is ECCStatus.SILENT
+        assert ParityCode().classify(2) is ECCStatus.SILENT
+        assert SECDEDCode().classify(3) is ECCStatus.SILENT
+        assert BCHCode(t=2).classify(2) is ECCStatus.CORRECTED
+
+
+class TestFaultInjector:
+    def make(self, **overrides) -> FaultInjector:
+        kwargs = dict(
+            config=FaultConfig(enabled=True, p_bit=1e-3),
+            trcd=10, trp=10, seed=0xDEAD, channel_id=0,
+            stored_bits=72,
+        )
+        kwargs.update(overrides)
+        return FaultInjector(**kwargs)
+
+    def test_same_inputs_same_flips(self) -> None:
+        a, b = self.make(), self.make()
+        for rid in range(2000):
+            assert a.flips_for(rid) == b.flips_for(rid)
+
+    def test_positions_lie_within_the_stored_word(self) -> None:
+        injector = self.make(stored_bits=39)
+        for rid in range(2000):
+            flips = injector.flips_for(rid)
+            assert all(0 <= pos < 39 for pos in flips)
+            assert len(set(flips)) == len(flips)
+
+    def test_seed_channel_and_rid_all_matter(self) -> None:
+        base = self.make()
+        othr = self.make(seed=0xBEEF)
+        chan = self.make(channel_id=1)
+        sites = [
+            tuple(inj.flips_for(rid) for rid in range(4000))
+            for inj in (base, othr, chan)
+        ]
+        assert sites[0] != sites[1]
+        assert sites[0] != sites[2]
+
+    def test_disabled_config_never_flips(self) -> None:
+        injector = self.make(config=FaultConfig(enabled=False, p_bit=0.5))
+        assert injector.p_bit == 0.0
+        assert all(injector.flips_for(rid) == () for rid in range(100))
+
+    def test_lower_timings_raise_the_flip_rate(self) -> None:
+        cfg = FaultConfig(enabled=True, p_bit=1e-6)
+        nominal = FaultInjector(
+            config=cfg, trcd=cfg.nominal_trcd, trp=cfg.nominal_trp,
+            seed=1, channel_id=0, stored_bits=72,
+        )
+        truncated = FaultInjector(
+            config=cfg, trcd=cfg.nominal_trcd - 4, trp=cfg.nominal_trp - 4,
+            seed=1, channel_id=0, stored_bits=72,
+        )
+        assert truncated.p_bit > nominal.p_bit > 0.0
+
+    def test_empirical_rate_tracks_p_bit(self) -> None:
+        # Aggressive p so the law of large numbers converges quickly.
+        injector = self.make(
+            config=FaultConfig(enabled=True, p_bit=5e-4), stored_bits=72
+        )
+        reads = 20_000
+        total = sum(len(injector.flips_for(rid)) for rid in range(reads))
+        expected = injector.p_bit * 72 * reads
+        assert expected * 0.8 < total < expected * 1.2
+
+
+class TestEstimators:
+    def test_outcome_probabilities_sum_to_one(self) -> None:
+        for name in CODE_NAMES:
+            probs = word_outcome_probabilities(
+                get_ecc(name), 64, 1e-6
+            )
+            assert math.isclose(sum(probs.values()), 1.0, rel_tol=1e-9)
+
+    def test_protection_collapses_fit(self) -> None:
+        words_per_hour = 1e12
+        fit_none = estimate_fit(get_ecc("none"), 64, 1e-9, words_per_hour)
+        fit_sec = estimate_fit(get_ecc("secded"), 64, 1e-9, words_per_hour)
+        assert fit_none > 0
+        assert fit_sec < fit_none / 1e6
+
+    def test_fit_monotonic_in_p_bit(self) -> None:
+        code = get_ecc("secded")
+        fits = [
+            estimate_fit(code, 64, p, 1e12)
+            for p in (1e-12, 1e-9, 1e-6)
+        ]
+        assert fits[0] < fits[1] < fits[2]
+
+    def test_carbon_scales_with_storage_overhead(self) -> None:
+        kwargs = dict(total_energy_nj=5e6, elapsed_us=1e3)
+        g_none = estimate_carbon_per_gib_year(
+            get_ecc("none"), 64, **kwargs
+        )
+        g_sec = estimate_carbon_per_gib_year(
+            get_ecc("secded"), 64, **kwargs
+        )
+        assert 0 < g_none < g_sec

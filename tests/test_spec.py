@@ -1,12 +1,15 @@
-"""SimSpec serialisation, config codec, and cache-v3 key tests."""
+"""SimSpec serialisation, config codec, and cache-v4 key tests."""
 
 import dataclasses
 import json
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config.codec import decode, decode_optional, encode
+from repro.config.faults import FaultConfig
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import (
     AMSConfig,
@@ -37,7 +40,48 @@ def fancy_spec() -> SimSpec:
         measure_error=True,
         record_activations=False,
         telemetry=True,
+        ecc="secded",
+        faults=FaultConfig(enabled=True, p_bit=1e-6, scale=2.0),
     )
+
+
+#: Random SimSpec generator: every field varied independently, so the
+#: codec round-trip and key-coverage properties below hold over the
+#: whole spec space, not just hand-picked examples.
+random_specs = st.builds(
+    SimSpec,
+    scheduler=st.builds(
+        SchedulerConfig,
+        arbiter=st.sampled_from(["frfcfs", "fcfs", "frfcfs-cap"]),
+        hit_streak_cap=st.integers(min_value=1, max_value=16),
+        dms=st.builds(
+            DMSConfig,
+            mode=st.sampled_from(list(DMSMode)),
+            static_delay=st.integers(min_value=0, max_value=512),
+            window_cycles=st.integers(min_value=64, max_value=4096),
+        ),
+        ams=st.builds(
+            AMSConfig,
+            mode=st.sampled_from(list(AMSMode)),
+            static_th_rbl=st.integers(min_value=1, max_value=32),
+        ),
+    ),
+    device=st.sampled_from([None, "gddr5", "gddr5x", "hbm", "lpddr4"]),
+    config=st.sampled_from(
+        [None, dataclasses.replace(GPUConfig(), num_sms=8)]
+    ),
+    measure_error=st.booleans(),
+    record_activations=st.booleans(),
+    telemetry=st.booleans(),
+    ecc=st.sampled_from(["none", "parity", "secded", "bch"]),
+    faults=st.builds(
+        FaultConfig,
+        enabled=st.booleans(),
+        p_bit=st.floats(min_value=0.0, max_value=1e-3),
+        scale=st.floats(min_value=0.0, max_value=8.0),
+        sensitivity=st.floats(min_value=0.0, max_value=2.0),
+    ),
+)
 
 
 class TestCodec:
@@ -103,9 +147,56 @@ class TestSimSpec:
             SimSpec(scheduler=SchedulerConfig(arbiter="lifo")).validate()
 
 
-class TestCacheV3:
-    def test_format_version_is_3(self) -> None:
-        assert CACHE_FORMAT_VERSION == 3
+class TestSpecProperties:
+    """Randomised codec/key coverage — the whole spec space, not
+    hand-picked examples."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=random_specs)
+    def test_codec_round_trip_is_lossless(self, spec: SimSpec) -> None:
+        rebuilt = SimSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert rebuilt == spec
+
+    def test_to_dict_covers_every_dataclass_field(self) -> None:
+        field_names = {f.name for f in dataclasses.fields(SimSpec)}
+        assert set(fancy_spec().to_dict()) == field_names
+
+    def test_every_spec_field_reaches_the_cache_key(self) -> None:
+        # The v4 key embeds spec.to_dict() wholesale; perturbing any
+        # single field must therefore change the key. The alternates
+        # map is keyed by field name and checked for completeness, so
+        # adding a SimSpec field without extending this audit fails
+        # loudly instead of silently missing the cache key.
+        base = fancy_spec()
+        alternates = {
+            "scheduler": SchedulerConfig(),
+            "device": "gddr5",
+            "config": dataclasses.replace(GPUConfig(), num_sms=16),
+            "measure_error": False,
+            "record_activations": True,
+            "telemetry": False,
+            "ecc": "bch",
+            "faults": FaultConfig(),
+        }
+        assert set(alternates) == {
+            f.name for f in dataclasses.fields(SimSpec)
+        }
+        reference = cache_key(
+            app="synthetic", scale=0.25, seed=11, spec=base
+        )
+        for name, value in alternates.items():
+            variant = dataclasses.replace(base, **{name: value})
+            key = cache_key(
+                app="synthetic", scale=0.25, seed=11, spec=variant
+            )
+            assert key != reference, f"field {name!r} not part of the key"
+
+
+class TestCacheV4:
+    def test_format_version_is_4(self) -> None:
+        assert CACHE_FORMAT_VERSION == 4
 
     def base_key(self, **overrides) -> str:
         kwargs = dict(
@@ -137,7 +228,7 @@ class TestCacheV3:
         )
 
     def test_previous_format_blob_is_a_miss(self, tmp_path) -> None:
-        # A v2 blob written by the previous build must be a plain miss —
+        # A v3 blob written by the previous build must be a plain miss —
         # not an error and not quarantined (the blob is healthy).
         report = SimReport.from_dict(
             json.loads(GOLDEN.read_text(encoding="utf-8"))
