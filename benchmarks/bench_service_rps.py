@@ -1,32 +1,43 @@
-"""Service daemon throughput: cache-hit requests per second.
+"""Service daemon throughput: cold jobs/s and cache-hit requests/s.
 
-The daemon's cheap path — a submission whose content key is already in
-the persistent result cache — never touches the worker pool: admission
-probes the cache on the event loop and answers ``200 cached`` with the
-full report attached. This benchmark measures that path end-to-end
-(HTTP parse, admission, journal append, JSON response) because it
-bounds how fast a sweep script can drain a warmed cache through the
-service instead of importing the Runner directly::
+The daemon has two serving regimes with very different economics:
 
-    PYTHONPATH=src python benchmarks/bench_service_rps.py
-    PYTHONPATH=src python benchmarks/bench_service_rps.py \
-        --requests 500 --clients 8 --out BENCH_service_rps.json
+* **cold** — the content key is unknown, so the job crosses the queue
+  onto the supervised worker tier and runs a real simulation.  Cold
+  throughput should scale with ``--workers`` until the submitting side
+  (HTTP + journal, one event loop) saturates.
+* **cache-hit** — admission probes the persistent cache on the event
+  loop and answers ``200 cached`` with the full report attached; no
+  worker is touched, so this path is independent of the tier size and
+  bounds how fast a sweep script can drain a warmed cache.
 
-The JSON records, per client count: requests issued, wall seconds, and
-requests/sec, plus the status-endpoint RPS for comparison (no journal
-write, no cache probe). Run under pytest it doubles as a smoke test
-(few requests, no JSON).
+This benchmark measures both end-to-end over real HTTP, plus the
+``/v1/healthz`` round-trip floor, and *appends* one entry per run to a
+history file so tier-size comparisons live side by side::
+
+    PYTHONPATH=src python benchmarks/bench_service_rps.py --workers 1
+    PYTHONPATH=src python benchmarks/bench_service_rps.py --workers 4
+    # -> BENCH_service_rps.json {"history": [{workers: 1, ...},
+    #                                        {workers: 4, ...}]}
+
+``--attach --port P`` benchmarks an already-running daemon (e.g. one
+started with ``--chaos 'exit@0/5'`` for a respawn-under-load drill)
+instead of spawning a private one.  Run under pytest it doubles as a
+smoke test (few jobs, no JSON).
 """
 
 from __future__ import annotations
 
 import argparse
 import concurrent.futures
+import datetime
 import json
+import math
 import sys
 import tempfile
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.harness.cache import ResultCache
 from repro.service.client import ServiceClient
@@ -35,16 +46,27 @@ from repro.service.server import ServiceDaemon
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = _REPO_ROOT / "BENCH_service_rps.json"
 
-#: Tiny but real simulation used to prime the cache once.
+#: Tiny but real simulation; ``--scale`` stretches it so execution
+#: (not protocol overhead) dominates the cold phase.
 APP = "synthetic"
-SCALE = 0.05
-SEED = 7
+DEFAULT_SCALE = 0.4
+SEED_BASE = 7
 
 
-def _start_daemon(root: Path) -> ServiceDaemon:
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    """The q-quantile of a latency sample, in milliseconds."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index] * 1000.0
+
+
+def _start_daemon(root: Path, *, workers: int, jobs: int) -> ServiceDaemon:
     daemon = ServiceDaemon(
         port=0,
-        workers=1,
+        workers=workers,
+        queue_size=max(64, 2 * jobs),
         cache=ResultCache(root / "cache", enabled=True),
         journal_path=root / "journal.jsonl",
         verbose=False,
@@ -53,45 +75,77 @@ def _start_daemon(root: Path) -> ServiceDaemon:
     return daemon
 
 
-def _prime(daemon: ServiceDaemon) -> None:
-    """Run the one real simulation whose result every request rereads."""
-    client = ServiceClient(port=daemon.port)
-    job = client.submit(APP, scale=SCALE, seed=SEED)
-    client.wait_for_report(job["id"], timeout=300)
-
-
-def measure_cached_rps(
-    daemon: ServiceDaemon, *, requests: int, clients: int
+def measure_cold(
+    port: int, *, jobs: int, clients: int, scale: float, seed_base: int
 ) -> dict:
-    """Issue ``requests`` warm submissions across ``clients`` threads."""
+    """Submit ``jobs`` distinct-seed jobs and wait for each report.
 
-    def one_client(count: int) -> int:
-        client = ServiceClient(port=daemon.port)
-        served = 0
+    Distinct seeds defeat both the cache and request coalescing, so
+    every job is a real simulation on the tier.  Per-job latency is
+    submit-to-done wall clock as a client experiences it.
+    """
+
+    def one_job(seed: int) -> float:
+        client = ServiceClient(port=port)
+        start = time.perf_counter()
+        job = client.submit(
+            APP, scale=scale, seed=seed, retry_busy=50
+        )
+        client.wait(job["id"], poll_seconds=0.02, timeout=600.0)
+        return time.perf_counter() - start
+
+    seeds = [seed_base + i for i in range(jobs)]
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+        latencies = list(pool.map(one_job, seeds))
+    elapsed = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "clients": clients,
+        "wall_seconds": elapsed,
+        "rps": jobs / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+    }
+
+
+def measure_cache_hit(
+    port: int, *, requests: int, clients: int, scale: float, seed: int
+) -> dict:
+    """Re-submit one already-cached spec ``requests`` times."""
+
+    def one_client(count: int) -> list[float]:
+        client = ServiceClient(port=port)
+        latencies = []
         for _ in range(count):
-            job = client.submit(APP, scale=SCALE, seed=SEED)
+            start = time.perf_counter()
+            job = client.submit(APP, scale=scale, seed=seed)
+            latencies.append(time.perf_counter() - start)
             assert job["outcome"] == "cached", job
-            served += 1
-        return served
+        return latencies
 
     share = [requests // clients] * clients
     for i in range(requests % clients):
         share[i] += 1
     start = time.perf_counter()
     with concurrent.futures.ThreadPoolExecutor(clients) as pool:
-        total = sum(pool.map(one_client, share))
+        latencies = [
+            lat for chunk in pool.map(one_client, share) for lat in chunk
+        ]
     elapsed = time.perf_counter() - start
     return {
+        "requests": requests,
         "clients": clients,
-        "requests": total,
         "wall_seconds": elapsed,
-        "rps": total / elapsed if elapsed > 0 else 0.0,
+        "rps": requests / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
     }
 
 
-def measure_status_rps(daemon: ServiceDaemon, *, requests: int) -> dict:
+def measure_status_rps(port: int, *, requests: int) -> dict:
     """Healthz round trips: the protocol floor (no cache, no journal)."""
-    client = ServiceClient(port=daemon.port)
+    client = ServiceClient(port=port)
     start = time.perf_counter()
     for _ in range(requests):
         client.healthz()
@@ -104,67 +158,148 @@ def measure_status_rps(daemon: ServiceDaemon, *, requests: int) -> dict:
 
 
 def run_benchmark(
-    *, requests: int, client_counts: tuple[int, ...]
+    *,
+    workers: int,
+    jobs: int,
+    requests: int,
+    clients: int,
+    scale: float,
+    seed_base: int = SEED_BASE,
+    port: Optional[int] = None,
 ) -> dict:
+    """One history entry; ``port`` attaches to a running daemon."""
+
+    def _measure(active_port: int, tier_doc: Optional[dict]) -> dict:
+        cold = measure_cold(
+            active_port, jobs=jobs, clients=clients,
+            scale=scale, seed_base=seed_base,
+        )
+        hit = measure_cache_hit(
+            active_port, requests=requests, clients=clients,
+            scale=scale, seed=seed_base,
+        )
+        status = measure_status_rps(active_port, requests=requests)
+        return {
+            "timestamp": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            "workers": workers,
+            "app": APP,
+            "scale": scale,
+            "cold": cold,
+            "cache_hit": hit,
+            "healthz_rps": status["rps"],
+            # Flat aliases the EXPERIMENTS recipes and CI smoke read.
+            "cold_rps": cold["rps"],
+            "cold_p99_ms": cold["p99_ms"],
+            "hit_rps": hit["rps"],
+            "hit_p99_ms": hit["p99_ms"],
+            "tier": tier_doc,
+        }
+
+    if port is not None:
+        tier = ServiceClient(port=port).healthz().get("tier")
+        return _measure(port, tier)
     with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
-        daemon = _start_daemon(Path(tmp))
+        daemon = _start_daemon(Path(tmp), workers=workers, jobs=jobs)
         try:
-            _prime(daemon)
-            cached = [
-                measure_cached_rps(
-                    daemon, requests=requests, clients=n
-                )
-                for n in client_counts
-            ]
-            status = measure_status_rps(daemon, requests=requests)
-            counters = daemon.hub.snapshot()["counters"]
+            entry = _measure(
+                daemon.port, daemon.tier.healthz() if daemon.tier else None
+            )
         finally:
             daemon.stop()
-    return {
-        "benchmark": "service_cache_hit_rps",
-        "app": APP,
-        "scale": SCALE,
-        "seed": SEED,
-        "cached_submit": cached,
-        "healthz": status,
-        "simulations_run": counters.get("service.simulations", 0.0),
-    }
+    return entry
+
+
+def append_history(out: Path, entry: dict) -> dict:
+    """Append ``entry`` to the benchmark history file (creating it)."""
+    doc = {"benchmark": "service_rps", "history": []}
+    if out.exists():
+        try:
+            previous = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+        if isinstance(previous.get("history"), list):
+            doc["history"] = previous["history"]
+    doc["history"].append(entry)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--requests", type=int, default=200)
     parser.add_argument(
-        "--clients", default="1,4",
-        help="comma-separated concurrent client counts (default 1,4)",
+        "--workers", type=int, default=1,
+        help="tier size of the spawned daemon (default 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=16,
+        help="distinct cold jobs to run (default 16)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200,
+        help="cache-hit and healthz request count (default 200)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client threads (default 8)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help=f"simulated fraction per job (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=SEED_BASE,
+        help="first seed of the distinct-seed cold job stream",
+    )
+    parser.add_argument(
+        "--attach", action="store_true",
+        help="benchmark the daemon already listening on --port "
+        "instead of spawning a private one",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8732,
+        help="daemon port for --attach (default 8732)",
     )
     parser.add_argument("--out", default=str(DEFAULT_OUT))
     args = parser.parse_args(argv)
-    client_counts = tuple(
-        int(n) for n in args.clients.split(",") if n.strip()
+
+    entry = run_benchmark(
+        workers=args.workers,
+        jobs=args.jobs,
+        requests=args.requests,
+        clients=args.clients,
+        scale=args.scale,
+        seed_base=args.seed_base,
+        port=args.port if args.attach else None,
     )
-    doc = run_benchmark(
-        requests=args.requests, client_counts=client_counts
+    print(
+        f"workers={entry['workers']} scale={entry['scale']}: "
+        f"cold {entry['cold_rps']:.2f} jobs/s "
+        f"(p99 {entry['cold_p99_ms']:.0f} ms), "
+        f"cache-hit {entry['hit_rps']:.0f} req/s "
+        f"(p99 {entry['hit_p99_ms']:.2f} ms), "
+        f"healthz {entry['healthz_rps']:.0f} req/s"
     )
-    for row in doc["cached_submit"]:
-        print(
-            f"cached submit x{row['clients']} clients: "
-            f"{row['rps']:8.1f} req/s "
-            f"({row['requests']} in {row['wall_seconds']:.2f}s)"
-        )
-    print(f"healthz floor: {doc['healthz']['rps']:8.1f} req/s")
-    assert doc["simulations_run"] == 1.0, doc["simulations_run"]
-    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    append_history(Path(args.out), entry)
+    print(f"appended to {args.out}")
     return 0
 
 
 def test_service_rps_smoke(tmp_path):
-    """Pytest entry: a handful of warm requests, exactly one sim."""
-    doc = run_benchmark(requests=10, client_counts=(2,))
-    assert doc["simulations_run"] == 1.0
-    assert doc["cached_submit"][0]["requests"] == 10
-    assert doc["cached_submit"][0]["rps"] > 0
+    """Pytest entry: a handful of jobs at tiny scale, real daemon."""
+    entry = run_benchmark(
+        workers=2, jobs=4, requests=10, clients=2, scale=0.05
+    )
+    assert entry["cold"]["jobs"] == 4
+    assert entry["cold_rps"] > 0
+    assert entry["cache_hit"]["requests"] == 10
+    assert entry["hit_rps"] > 0
+    assert entry["tier"] and entry["tier"]["size"] == 2
+    doc = append_history(tmp_path / "bench.json", entry)
+    assert len(doc["history"]) == 1
+    doc = append_history(tmp_path / "bench.json", entry)
+    assert len(doc["history"]) == 2
 
 
 if __name__ == "__main__":

@@ -64,6 +64,28 @@ class JobStateError(ServiceError):
     """
 
 
+class CircuitOpenError(ServiceError):
+    """The daemon's circuit breaker has quarantined this spec (HTTP 422).
+
+    Raised client-side when a submission's content key has failed
+    terminally enough times in a row that the service refuses to burn
+    another worker on it. ``retry_after`` carries the remaining breaker
+    cooldown in seconds; ``last_error`` the structured record of the
+    failure that tripped the circuit (when the server shared one).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 60.0,
+        last_error=None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.last_error = last_error
+
+
 class ServiceBusyError(ServiceError):
     """The daemon's job queue is full (HTTP 429 on the wire).
 

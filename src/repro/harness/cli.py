@@ -509,6 +509,7 @@ def _serve_main(argv: list[str]) -> int:
     from repro.service.server import (
         DEFAULT_JOURNAL,
         DEFAULT_PORT,
+        DEFAULT_RING_EVENTS,
         ServiceDaemon,
     )
 
@@ -530,7 +531,12 @@ def _serve_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=2,
-        help="concurrent simulation workers (default 2)",
+        help="supervised simulator worker processes (default 2)",
+    )
+    parser.add_argument(
+        "--in-process", action="store_true",
+        help="run jobs on daemon threads instead of the supervised "
+        "process tier (no crash isolation; PR 5 behaviour)",
     )
     parser.add_argument(
         "--queue-size", type=int, default=64,
@@ -540,6 +546,40 @@ def _serve_main(argv: list[str]) -> int:
         "--journal", default=DEFAULT_JOURNAL, metavar="PATH",
         help="JSONL job journal for restart recovery "
         f"(default {DEFAULT_JOURNAL})",
+    )
+    parser.add_argument(
+        "--journal-fsync", choices=("always", "batch"),
+        default="always",
+        help="journal durability: fsync every record (always) or "
+        "amortised every few dozen records (batch; default always)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive terminal failures of one spec before its "
+        "circuit opens (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=60.0,
+        metavar="SECONDS",
+        help="seconds a tripped circuit stays open before one "
+        "half-open probe is admitted (default 60)",
+    )
+    parser.add_argument(
+        "--shed-watermark", type=float, default=0.75,
+        metavar="FRACTION",
+        help="queue-depth fraction above which submissions are shed "
+        "with 429 while all workers are busy (default 0.75)",
+    )
+    parser.add_argument(
+        "--sse-ring-events", type=int, default=None, metavar="N",
+        help="bounded per-job SSE replay ring size (events kept for "
+        "Last-Event-ID reconnects; default 512)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="deterministic fault plan injected into the worker tier "
+        "(kind@cell[/stride][:seconds][xN]; e.g. exit@0/5 kills the "
+        "worker of every 5th dispatch) — for drills and tests",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -572,6 +612,18 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--workers must be >= 0")
     if args.queue_size < 1:
         parser.error("--queue-size must be >= 1")
+    if not 0.0 < args.shed_watermark <= 1.0:
+        parser.error("--shed-watermark must be in (0, 1]")
+    if args.sse_ring_events is not None and args.sse_ring_events < 1:
+        parser.error("--sse-ring-events must be >= 1")
+    chaos = None
+    if args.chaos:
+        from repro.harness.faults import FaultPlan
+
+        try:
+            chaos = FaultPlan.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(str(exc))
     daemon = ServiceDaemon(
         host=args.host,
         port=args.port,
@@ -579,9 +631,16 @@ def _serve_main(argv: list[str]) -> int:
         queue_size=args.queue_size,
         cache=ResultCache(args.cache_dir, enabled=not args.no_cache),
         journal_path=args.journal,
+        journal_fsync=args.journal_fsync,
+        sse_ring_events=args.sse_ring_events or DEFAULT_RING_EVENTS,
         retries=args.retries,
         cell_timeout=args.cell_timeout,
         window_cycles=args.window or WINDOW_CYCLES,
+        process_tier=not args.in_process,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        shed_watermark=args.shed_watermark,
+        chaos=chaos,
         verbose=not args.quiet,
     )
     try:

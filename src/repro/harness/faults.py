@@ -27,14 +27,22 @@ serial and pooled execution) and fires on attempts ``1..attempts``
 (default 1), so a bounded retry always observes the same faults and
 then a clean cell.  There is no randomness anywhere.
 
+The service daemon reuses the same grammar for its worker tier: there
+the ordinal is the tier-wide *dispatch number* (jobs in first-dispatch
+order; retries keep their job's ordinal and advance only the attempt),
+so a plan written for a sweep reads identically for a job stream.
+
 Plan syntax (``REPRO_CHAOS`` env var or ``--chaos``)::
 
-    spec  := kind '@' cell [':' seconds] ['x' attempts]
+    spec  := kind '@' cell ['/' stride] [':' seconds] ['x' attempts]
     plan  := spec (';' spec)*
 
 Examples: ``crash@0`` (cell 0 raises once), ``hang@1:30`` (cell 1
 sleeps 30 s on its first attempt), ``exit@2x2`` (cell 2 kills its
-worker on attempts 1 and 2), ``crash@0;corrupt@1``.
+worker on attempts 1 and 2), ``crash@0;corrupt@1``.  A stride turns
+one ordinal into a deterministic *rate*: ``exit@0/5`` fires on cells
+0, 5, 10, ... — the "kill every 5th dispatch" load tests of the
+service tier are written exactly like that.
 """
 
 from __future__ import annotations
@@ -72,13 +80,18 @@ class FaultSpec:
     """One injected fault: ``kind`` applied to cell ``cell``.
 
     The fault is active while ``attempt <= attempts``; ``seconds`` is
-    the sleep duration for ``hang`` faults.
+    the sleep duration for ``hang`` faults.  A non-zero ``stride``
+    widens the match from one ordinal to the arithmetic progression
+    ``cell, cell + stride, cell + 2*stride, ...`` — a deterministic
+    fault *rate* for load tests.
     """
 
     kind: str
     cell: int
     seconds: float = 0.0
     attempts: int = 1
+    #: 0 = exact-ordinal match; N > 0 = every Nth cell from ``cell`` on.
+    stride: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -96,10 +109,20 @@ class FaultSpec:
             raise ValueError(
                 f"fault seconds must be >= 0, got {self.seconds}"
             )
+        if self.stride < 0:
+            raise ValueError(
+                f"fault stride must be >= 0, got {self.stride}"
+            )
+
+    def matches(self, cell: int) -> bool:
+        """Whether this spec targets the given cell ordinal."""
+        if self.stride <= 0:
+            return cell == self.cell
+        return cell >= self.cell and (cell - self.cell) % self.stride == 0
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
-        """Parse one ``kind@cell[:seconds][xN]`` fragment."""
+        """Parse one ``kind@cell[/stride][:seconds][xN]`` fragment."""
         spec = text.strip()
         try:
             kind, _, rest = spec.partition("@")
@@ -113,9 +136,15 @@ class FaultSpec:
             if ":" in rest:
                 rest, _, secs = rest.partition(":")
                 seconds = float(secs)
+            stride = 0
+            if "/" in rest:
+                rest, _, step = rest.partition("/")
+                stride = int(step)
+                if stride < 1:
+                    raise ValueError("stride must be >= 1")
             return cls(
                 kind=kind.strip(), cell=int(rest),
-                seconds=seconds, attempts=attempts,
+                seconds=seconds, attempts=attempts, stride=stride,
             )
         except ValueError as exc:
             raise ValueError(f"bad fault spec {text!r}: {exc}") from None
@@ -155,7 +184,7 @@ class FaultPlan:
     def active(self, cell: int, attempt: int) -> Iterator[FaultSpec]:
         """Faults that fire for this (cell ordinal, 1-based attempt)."""
         for spec in self.specs:
-            if spec.cell == cell and attempt <= spec.attempts:
+            if spec.matches(cell) and attempt <= spec.attempts:
                 yield spec
 
     def fire_pre_simulation(
@@ -180,7 +209,7 @@ class FaultPlan:
     def should_corrupt(self, cell: int) -> bool:
         """Whether the freshly stored blob for ``cell`` must be garbled."""
         return any(
-            spec.kind == "corrupt" and spec.cell == cell
+            spec.kind == "corrupt" and spec.matches(cell)
             for spec in self.specs
         )
 

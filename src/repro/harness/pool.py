@@ -122,7 +122,15 @@ def _worker_main(conn) -> None:
     warm pool.  Under the fork start method the import is free (copy-on-
     write from the parent); under spawn it is paid once per worker
     instead of once per cell.
+
+    Besides cell batches the pipe carries ``("ping", seq)`` heartbeat
+    probes, answered with ``("pong", seq, pid)``.  A worker only reads
+    the pipe between batches, so a pong certifies *idle* liveness; a
+    worker busy simulating answers late, which is exactly why busy
+    workers are supervised by per-job deadlines instead.
     """
+    import os as os_mod
+
     import repro.harness.runner  # noqa: F401  (pre-import the stack)
     import repro.sim.system  # noqa: F401
 
@@ -133,6 +141,12 @@ def _worker_main(conn) -> None:
             return
         if msg is None:
             return
+        if isinstance(msg, tuple) and msg and msg[0] == "ping":
+            try:
+                conn.send(("pong", msg[1], os_mod.getpid()))
+            except (OSError, ValueError):
+                return
+            continue
         for task_id, payload in msg:
             try:
                 key, report_dict, elapsed = _run_payload(payload)
@@ -180,7 +194,10 @@ def _thread_main(jobs: "queue_mod.SimpleQueue") -> None:
 class _ProcessWorker:
     """Parent-side handle of one worker process."""
 
-    __slots__ = ("conn", "proc", "inflight", "dead")
+    __slots__ = (
+        "conn", "proc", "inflight", "dead",
+        "spawned_at", "last_pong", "tasks_done", "crashes_seen",
+    )
 
     def __init__(self, conn, proc) -> None:
         self.conn = conn
@@ -188,6 +205,13 @@ class _ProcessWorker:
         #: task_id -> Future of every cell dispatched but unresolved.
         self.inflight: dict[int, Future] = {}
         self.dead = False
+        self.spawned_at = time.time()
+        #: Wall time of the last heartbeat answer (spawn counts as one).
+        self.last_pong = self.spawned_at
+        #: Cells this worker resolved (ok or err) over its lifetime.
+        self.tasks_done = 0
+        #: Failed cells resolved by this worker (chaos/errors).
+        self.crashes_seen = 0
 
 
 class WarmPool:
@@ -209,6 +233,9 @@ class WarmPool:
         self._lock = threading.Lock()
         self._next_id = 0
         self._rr = 0  # round-robin cursor for batch/thread dispatch
+        self._ping_seq = 0
+        #: Workers respawned in place over the pool's lifetime.
+        self.respawns = 0
         if threads:
             self._queues: list[queue_mod.SimpleQueue] = []
             self._threads: list[threading.Thread] = []
@@ -293,6 +320,110 @@ class WarmPool:
     # ------------------------------------------------------------------
     # Supervision hooks
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(future: Future, *, result=None, exc=None) -> None:
+        """Resolve a future, tolerating one already cancelled/resolved.
+
+        The service tier awaits pool futures through ``asyncio.wait_for``,
+        whose timeout path *cancels* the (still pending) future before
+        the supervisor gets to :meth:`kill_owner`.  A result racing in
+        from the collector thread must not kill the collector with an
+        ``InvalidStateError``.
+        """
+        try:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+        except Exception:
+            pass  # cancelled or already resolved: the waiter moved on
+
+    def ping(self) -> int:
+        """Send one heartbeat probe to every live worker (process mode).
+
+        Returns the number of probes sent.  Answers arrive on the
+        collector thread and update each worker's ``last_pong``; read
+        them back through :meth:`worker_states`.  A worker that is busy
+        simulating answers only after finishing its current batch — the
+        heartbeat certifies *idle* liveness, per-job deadlines cover
+        busy workers.
+        """
+        if self.threads:
+            return 0
+        with self._lock:
+            if self.closed:
+                return 0
+            self._ping_seq += 1
+            seq = self._ping_seq
+            targets = [w for w in self._workers if not w.dead]
+        sent = 0
+        for worker in targets:
+            try:
+                worker.conn.send(("ping", seq))
+                sent += 1
+            except (OSError, ValueError):
+                self._worker_died(worker)
+        return sent
+
+    def worker_states(self) -> list[dict]:
+        """Introspection snapshot of every worker slot (for healthz).
+
+        Thread mode reports thread liveness only; process mode adds
+        pid, in-flight load, heartbeat age, and lifetime counters.
+        """
+        now = time.time()
+        if self.threads:
+            return [
+                {"mode": "thread", "alive": t.is_alive()}
+                for t in self._threads
+            ]
+        with self._lock:
+            workers = list(self._workers)
+        return [
+            {
+                "mode": "process",
+                "pid": w.proc.pid,
+                "alive": (not w.dead) and w.proc.is_alive(),
+                "busy": len(w.inflight) > 0,
+                "inflight": len(w.inflight),
+                "heartbeat_age_seconds": max(0.0, now - w.last_pong),
+                "uptime_seconds": max(0.0, now - w.spawned_at),
+                "tasks_done": w.tasks_done,
+                "tasks_failed": w.crashes_seen,
+            }
+            for w in workers
+        ]
+
+    def reap_stale(self, max_age: float) -> int:
+        """Kill and respawn *idle* workers whose heartbeat went silent.
+
+        A worker with cells in flight is never touched here (its
+        supervisor's per-job deadline covers it); an idle worker that
+        has not answered a ping — nor delivered any message — for
+        ``max_age`` seconds is wedged and gets its slot respawned.
+        Returns the number of workers replaced.
+        """
+        if self.threads:
+            return 0
+        now = time.time()
+        stale: list[_ProcessWorker] = []
+        with self._lock:
+            if self.closed:
+                return 0
+            for i, worker in enumerate(self._workers):
+                if (
+                    not worker.dead
+                    and not worker.inflight
+                    and now - worker.last_pong > max_age
+                ):
+                    worker.dead = True
+                    stale.append(worker)
+                    self._workers[i] = self._spawn()
+        for worker in stale:
+            self._reap(worker, terminate=True)
+            self._note_rebuild()
+        return len(stale)
+
     def kill_owner(self, future: Future) -> bool:
         """Kill and respawn the worker hosting ``future`` (timed out).
 
@@ -323,15 +454,20 @@ class WarmPool:
             self._workers[self._workers.index(owner)] = self._spawn()
         self._reap(owner, terminate=True)
         for victim in victims:
-            victim.set_exception(WorkerCrashError(
+            self._resolve(victim, exc=WorkerCrashError(
                 "warm-pool worker killed while a neighbouring cell "
                 "was in flight"
             ))
         self._note_rebuild()
         return True
 
-    def shutdown(self) -> None:
-        """Stop every worker; idempotent. In-flight cells are failed."""
+    def close(self) -> None:
+        """Stop every worker; idempotent — safe to call any number of
+        times, from user code and the runner's ``weakref.finalize``
+        both.  The first call tears the pool down (failing in-flight
+        cells with :class:`WorkerCrashError`); later calls see the
+        ``closed`` flag under the lock and return without touching the
+        already-reaped pipes or processes."""
         with self._lock:
             if self.closed:
                 return
@@ -353,9 +489,12 @@ class WarmPool:
                 pass
             self._reap(worker, terminate=True)
         for victim in victims:
-            victim.set_exception(
-                WorkerCrashError("warm pool shut down with cells in flight")
-            )
+            self._resolve(victim, exc=WorkerCrashError(
+                "warm pool shut down with cells in flight"
+            ))
+
+    #: Historical name; :meth:`close` is the canonical spelling.
+    shutdown = close
 
     # ------------------------------------------------------------------
     # Internals (process mode)
@@ -386,6 +525,7 @@ class WarmPool:
             pass
 
     def _note_rebuild(self) -> None:
+        self.respawns += 1
         if self._on_rebuild is not None:
             try:
                 self._on_rebuild()
@@ -403,7 +543,7 @@ class WarmPool:
             self._workers[self._workers.index(worker)] = self._spawn()
         self._reap(worker, terminate=True)
         for victim in victims:
-            victim.set_exception(WorkerCrashError(
+            self._resolve(victim, exc=WorkerCrashError(
                 "warm-pool worker died while a cell was in flight"
             ))
         self._note_rebuild()
@@ -436,23 +576,31 @@ class WarmPool:
     def _deliver(self, worker: _ProcessWorker, msg: tuple) -> None:
         from repro.sim.report import SimReport
 
-        kind, task_id = msg[0], msg[1]
+        kind = msg[0]
+        # Any message off the pipe proves the worker alive — refresh the
+        # heartbeat so a long simulation is not misread as a wedge.
+        worker.last_pong = time.time()
+        if kind == "pong":
+            return
+        task_id = msg[1]
         with self._lock:
             future = worker.inflight.pop(task_id, None)
-        if future is None:  # detached by kill_owner/shutdown
+        if future is None:  # detached by kill_owner/close
             return
+        worker.tasks_done += 1
         if kind == "ok":
             _, _, key, report_dict, elapsed = msg
             try:
                 report = SimReport.from_dict(report_dict)
             except Exception as exc:
-                future.set_exception(exc)
+                self._resolve(future, exc=exc)
             else:
-                future.set_result((key, report, elapsed))
+                self._resolve(future, result=(key, report, elapsed))
         else:
+            worker.crashes_seen += 1
             _, _, exc, tb = msg
             exc.__cause__ = _RemoteTraceback(tb)
-            future.set_exception(exc)
+            self._resolve(future, exc=exc)
 
 
 __all__ = ["WarmPool", "WorkItem"]

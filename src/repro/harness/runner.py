@@ -113,6 +113,9 @@ class CellSpec:
     ecc: str = "none"
     #: DRAM bit-flip fault model (None = disabled).
     faults: Optional[FaultConfig] = None
+    #: Keep per-channel activation logs on the report (service jobs may
+    #: turn this off; the CLI runner always leaves it on).
+    record_activations: bool = True
 
     @property
     def sim_spec(self) -> SimSpec:
@@ -122,6 +125,7 @@ class CellSpec:
             device=self.device,
             config=self.config,
             measure_error=self.measure_error,
+            record_activations=self.record_activations,
             ecc=self.ecc,
             faults=self.faults if self.faults is not None else FaultConfig(),
         )

@@ -10,6 +10,16 @@ multi-tenant daemon (``repro-harness serve``) that accepts JSON-encoded
 * :mod:`repro.service.queue` — the bounded priority queue with
   cache-first admission, request coalescing (concurrent identical specs
   attach to one in-flight simulation), and 429 backpressure;
+* :mod:`repro.service.workers` — the supervised worker tier: N
+  persistent simulator *processes* (PR 6 :class:`~repro.harness.pool.
+  WarmPool`) with heartbeats, per-job deadlines, and in-place respawn,
+  so a crashing or hung simulation fails only its own job;
+* :mod:`repro.service.breaker` — the per-content-key circuit breaker
+  that quarantines poison specs with a structured 422 instead of
+  burning workers on them;
+* :mod:`repro.service.stream` — crash-safe SSE fan-out: bounded
+  per-job event rings with monotonically increasing ids and
+  ``Last-Event-ID`` reconnect replay;
 * :mod:`repro.service.server` — the stdlib-only asyncio HTTP daemon:
   ``POST /v1/jobs``, ``GET /v1/jobs/<id>``, an SSE stream of per-window
   telemetry at ``GET /v1/jobs/<id>/events``, plus ``/v1/healthz`` and
@@ -18,19 +28,25 @@ multi-tenant daemon (``repro-harness serve``) that accepts JSON-encoded
   ``repro-harness submit|status|watch`` plumbing.
 
 The daemon deliberately owns no new simulation semantics: execution
-reuses the harness :class:`~repro.harness.runner.Runner` (retries,
-backoff, supervised timeouts), results flow through the persistent
+reuses the harness supervision machinery (retries, backoff, kill-and-
+respawn), results flow through the persistent
 :class:`~repro.harness.cache.ResultCache`, and wire payloads round-trip
 through :mod:`repro.config.codec` — the service is a thin, recoverable
 queue in front of machinery every CLI run already trusts.
 """
 
+from repro.service.breaker import BreakerEntry, CircuitBreaker
 from repro.service.client import ServiceClient
 from repro.service.jobs import Job, JobJournal, JobState
 from repro.service.queue import JobQueue, QueueFullError
 from repro.service.server import ServiceDaemon
+from repro.service.stream import EventRing
+from repro.service.workers import TierExecutionFailed, WorkerTier
 
 __all__ = [
+    "BreakerEntry",
+    "CircuitBreaker",
+    "EventRing",
     "Job",
     "JobJournal",
     "JobQueue",
@@ -38,4 +54,6 @@ __all__ = [
     "QueueFullError",
     "ServiceClient",
     "ServiceDaemon",
+    "TierExecutionFailed",
+    "WorkerTier",
 ]

@@ -23,16 +23,29 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
-from repro.errors import ConfigError, ServiceBusyError, ServiceError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    ServiceBusyError,
+    ServiceError,
+)
 from repro.sim.report import SimReport
 from repro.sim.spec import SimSpec
 
+#: Hard ceiling on one busy-retry sleep, jitter included.
+MAX_RETRY_SLEEP = 30.0
+
 
 class ServiceClient:
-    """Thin JSON/HTTP client for one daemon endpoint."""
+    """Thin JSON/HTTP client for one daemon endpoint.
+
+    ``rng`` drives the retry jitter (an injectable
+    :class:`random.Random` keeps tests deterministic).
+    """
 
     def __init__(
         self,
@@ -40,10 +53,26 @@ class ServiceClient:
         port: int = 8732,
         *,
         timeout: float = 60.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def _busy_delay(self, retry_after: float) -> float:
+        """The server's Retry-After hint, jittered and capped.
+
+        Full jitter in ``[hint/2, hint]`` decorrelates a fleet of
+        clients that were all shed in the same overload burst — without
+        it they would re-dogpile the daemon exactly in step. The cap
+        keeps a pathological hint from stalling a sweep for minutes.
+        """
+        hint = max(0.0, float(retry_after))
+        jittered = hint / 2.0 + self.rng.random() * (hint / 2.0)
+        return min(jittered, MAX_RETRY_SLEEP)
 
     # ------------------------------------------------------------------
     def _request(
@@ -78,17 +107,29 @@ class ServiceClient:
             conn.close()
 
     @staticmethod
-    def _raise_for(status: int, headers: dict, doc: dict) -> None:
+    def _retry_after_of(headers: dict, doc: dict, default: float) -> float:
+        try:
+            return float(
+                doc.get("retry_after")
+                or headers.get("Retry-After", default)
+            )
+        except (TypeError, ValueError):
+            return default
+
+    @classmethod
+    def _raise_for(cls, status: int, headers: dict, doc: dict) -> None:
         message = doc.get("error", f"HTTP {status}")
-        if status == 429:
-            try:
-                retry_after = float(
-                    doc.get("retry_after")
-                    or headers.get("Retry-After", 1.0)
-                )
-            except (TypeError, ValueError):
-                retry_after = 1.0
-            raise ServiceBusyError(message, retry_after=retry_after)
+        if status == 429 or status == 503:
+            raise ServiceBusyError(
+                message,
+                retry_after=cls._retry_after_of(headers, doc, 1.0),
+            )
+        if status == 422:
+            raise CircuitOpenError(
+                message,
+                retry_after=cls._retry_after_of(headers, doc, 60.0),
+                last_error=(doc.get("breaker") or {}).get("last_error"),
+            )
         if status == 400:
             raise ConfigError(message)
         if status >= 400:
@@ -120,9 +161,11 @@ class ServiceClient:
     ) -> dict:
         """Submit one job; returns the server's job document.
 
-        ``retry_busy`` re-submits up to N times on 429, sleeping the
-        server's ``Retry-After`` hint between tries — the polite way to
-        drive a sweep into a bounded queue.
+        ``retry_busy`` re-submits up to N times on 429/503, sleeping a
+        *jittered* fraction of the server's ``Retry-After`` hint between
+        tries (capped at :data:`MAX_RETRY_SLEEP`) — the polite way to
+        drive a sweep into a bounded queue without every shed client
+        re-dogpiling the daemon in step.
         """
         if spec is None:
             spec_doc: dict = {}
@@ -142,16 +185,11 @@ class ServiceClient:
             status, headers, doc = self._request(
                 "POST", "/v1/jobs", payload
             )
-            if status == 429 and attempts_left > 0:
+            if status in (429, 503) and attempts_left > 0:
                 attempts_left -= 1
-                try:
-                    delay = float(
-                        doc.get("retry_after")
-                        or headers.get("Retry-After", 1.0)
-                    )
-                except (TypeError, ValueError):
-                    delay = 1.0
-                time.sleep(min(delay, 30.0))
+                self._sleep(self._busy_delay(
+                    self._retry_after_of(headers, doc, 1.0)
+                ))
                 continue
             self._raise_for(status, headers, doc)
             job = doc.get("job", {})
@@ -233,18 +271,33 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def events(
-        self, job_id: str, *, timeout: float = 600.0
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        last_event_id: Optional[int] = None,
     ) -> Iterator[tuple[str, Any]]:
         """Iterate the job's SSE stream as ``(event, data)`` pairs.
 
         The stream ends when the server closes it (after the terminal
-        event); ``data`` is JSON-decoded when possible.
+        event); ``data`` is JSON-decoded when possible, and id-stamped
+        frames get their id attached as ``data["event_id"]`` (dict
+        payloads only).  Pass ``last_event_id`` — the highest
+        ``event_id`` seen before a dropped connection — to reconnect
+        and replay exactly the missed window (the standard SSE
+        ``Last-Event-ID`` header; see :meth:`watch` for the loop that
+        does this automatically).
         """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout
         )
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            headers = {}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/events", headers=headers
+            )
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -254,6 +307,7 @@ class ServiceClient:
                     doc = {"error": raw.decode("utf-8", "replace")}
                 self._raise_for(response.status, {}, doc)
             event = "message"
+            event_id: Optional[int] = None
             data_lines: list[str] = []
             for raw_line in response:
                 line = raw_line.decode("utf-8").rstrip("\r\n")
@@ -261,14 +315,62 @@ class ServiceClient:
                     if data_lines:
                         data = "\n".join(data_lines)
                         try:
-                            yield event, json.loads(data)
+                            payload = json.loads(data)
                         except json.JSONDecodeError:
-                            yield event, data
+                            payload = data
+                        if event_id is not None \
+                                and isinstance(payload, dict):
+                            payload["event_id"] = event_id
+                        yield event, payload
                     event = "message"
+                    event_id = None
                     data_lines = []
+                elif line.startswith("id:"):
+                    try:
+                        event_id = int(line[len("id:"):].strip())
+                    except ValueError:
+                        event_id = None
                 elif line.startswith("event:"):
                     event = line[len("event:"):].strip()
                 elif line.startswith("data:"):
                     data_lines.append(line[len("data:"):].strip())
         finally:
             conn.close()
+
+    def watch(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        max_reconnects: int = 10,
+    ) -> Iterator[tuple[str, Any]]:
+        """Like :meth:`events` but survives dropped connections.
+
+        Tracks the stream's event ids and, when the TCP connection dies
+        mid-run, reconnects with ``Last-Event-ID`` so the iteration
+        resumes exactly where it stopped — no duplicated and no lost
+        frames (unless the server's bounded ring evicted them, which
+        surfaces as a ``gap`` event).
+        """
+        last_id: Optional[int] = None
+        reconnects = 0
+        while True:
+            finished = False
+            try:
+                for event, data in self.events(
+                    job_id, timeout=timeout, last_event_id=last_id
+                ):
+                    if isinstance(data, dict) \
+                            and "event_id" in data:
+                        last_id = data["event_id"]
+                    yield event, data
+                    if event in ("done", "failed", "cancelled"):
+                        finished = True
+                finished = True
+            except (ConnectionError, http.client.HTTPException, OSError):
+                if reconnects >= max_reconnects:
+                    raise
+                reconnects += 1
+                continue
+            if finished:
+                return

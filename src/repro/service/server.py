@@ -16,14 +16,32 @@ multi-tenant simulation service::
 Execution reuses the existing harness stack end to end: admission is
 cache-first against the shared :class:`~repro.harness.cache.ResultCache`,
 identical in-flight specs coalesce onto one computation
-(:mod:`repro.service.queue`), and each simulation runs through the
-PR 3 fault-tolerance machinery — a per-job
-:class:`~repro.harness.runner.Runner` with bounded retries,
-deterministic exponential backoff, and (with ``cell_timeout``) the
-supervised process pool that kills hung workers. Jobs whose spec asks
-for telemetry run in-process instead so their
-:class:`~repro.telemetry.sampler.WindowSeries` samples can be streamed
-over SSE *while the simulation is still running*.
+(:mod:`repro.service.queue`), and simulations run on a **supervised
+worker tier** (:class:`~repro.service.workers.WorkerTier`): ``workers``
+persistent simulator *processes* over the PR 6
+:class:`~repro.harness.pool.WarmPool`, with heartbeats, per-job
+wall-clock deadlines, and in-place respawn — a crashing or hung worker
+fails only its own in-flight job and never takes the daemon down.
+Jobs whose spec asks for telemetry run in-process (executor thread)
+instead so their :class:`~repro.telemetry.sampler.WindowSeries`
+samples can be streamed over SSE *while the simulation is running*.
+
+Robustness layers around the tier:
+
+* **circuit breaker** (:mod:`repro.service.breaker`) — a content key
+  that keeps failing terminally is quarantined at admission with a
+  structured HTTP 422 instead of burning workers on every retry;
+* **load shedding** — when every tier worker is busy and the queue is
+  past its watermark, submissions get an immediate 429 +
+  ``Retry-After`` instead of unbounded queueing;
+* **graceful degradation** — with the execution tier down, exact cache
+  hits still serve, related specs get the last completed *stale* report
+  (labeled ``degraded`` + ``X-Repro-Degraded`` header), everything else
+  a 503 with a retry hint;
+* **crash-safe SSE** (:mod:`repro.service.stream`) — each job owns a
+  bounded event ring with monotonically increasing ids; any number of
+  watchers fan out from one ring and a dropped client reconnects with
+  ``Last-Event-ID`` to replay exactly what it missed.
 
 Every submission/transition is journalled
 (:class:`~repro.service.jobs.JobJournal`); a restarted daemon replays
@@ -49,9 +67,10 @@ from urllib.parse import urlsplit
 from repro.dram.request import reset_request_ids
 from repro.errors import ConfigError, JobStateError
 from repro.harness.cache import ResultCache
-from repro.harness.faults import CellFailure
+from repro.harness.faults import CellFailure, FaultPlan
 from repro.harness.runner import Runner
 from repro.harness.schemes import WINDOW_CYCLES
+from repro.service.breaker import CircuitBreaker, RejectedByBreaker
 from repro.service.jobs import (
     Job,
     JobJournal,
@@ -59,16 +78,22 @@ from repro.service.jobs import (
     replay_journal,
 )
 from repro.service.queue import ADMIT_CACHED, JobQueue, QueueFullError
+from repro.service.stream import DEFAULT_RING_EVENTS, EventRing, sse_frame
+from repro.service.workers import TierExecutionFailed, WorkerTier
 from repro.sim.report import SimReport
 from repro.sim.system import simulate_spec
 from repro.telemetry.hub import (
     MetricsHub,
+    SERVICE_BREAKER_OPENED,
+    SERVICE_BREAKER_REJECTED,
     SERVICE_CANCELLED,
     SERVICE_COMPLETED,
     SERVICE_FAILED,
     SERVICE_RECOVERED,
+    SERVICE_SHED,
     SERVICE_SIMULATIONS,
     SERVICE_SSE_STREAMS,
+    SERVICE_STALE_SERVED,
     SERVICE_SUBMITTED,
 )
 from repro.workloads.registry import get_workload
@@ -91,8 +116,10 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -105,11 +132,14 @@ class _JobFailed(Exception):
 
 
 class ServiceDaemon:
-    """One serving instance: HTTP front, bounded queue, worker tasks.
+    """One serving instance: HTTP front, bounded queue, worker tier.
 
     ``workers=0`` is admission-only mode (jobs queue but never run) —
     useful for tests exercising backpressure and cancellation
-    deterministically.
+    deterministically.  ``process_tier=False`` keeps the PR 5 behaviour
+    of executing every job on daemon threads (no crash isolation); the
+    default runs non-telemetry jobs on the supervised
+    :class:`~repro.service.workers.WorkerTier` of simulator processes.
     """
 
     def __init__(
@@ -121,28 +151,51 @@ class ServiceDaemon:
         queue_size: int = 64,
         cache: Optional[ResultCache] = None,
         journal_path: str | Path = DEFAULT_JOURNAL,
+        journal_fsync: str = "always",
         retries: int = 1,
         retry_backoff: float = 0.05,
         cell_timeout: Optional[float] = None,
         window_cycles: int = WINDOW_CYCLES,
         sse_poll_seconds: float = 0.05,
+        sse_ring_events: int = DEFAULT_RING_EVENTS,
+        process_tier: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 60.0,
+        shed_watermark: float = 0.75,
+        chaos: Optional[FaultPlan] = None,
         verbose: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if not 0.0 < shed_watermark <= 1.0:
+            raise ValueError("shed_watermark must be in (0, 1]")
         self.host = host
         self.port = port
         self.workers = workers
         self.queue_size = queue_size
         self.cache = cache if cache is not None else ResultCache()
-        self.journal = JobJournal(journal_path)
+        self.journal = JobJournal(journal_path, fsync=journal_fsync)
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.cell_timeout = cell_timeout
         self.window_cycles = window_cycles
         self.sse_poll_seconds = sse_poll_seconds
+        self.sse_ring_events = sse_ring_events
+        self.process_tier = process_tier
+        self.shed_watermark = shed_watermark
+        self.chaos = chaos
         self.verbose = verbose
         self.hub = MetricsHub(window_cycles=max(window_cycles, 1))
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        #: Supervised process tier (built in :meth:`_serve`); None in
+        #: admission-only or ``process_tier=False`` mode.
+        self.tier: Optional[WorkerTier] = None
+        #: (app, scale, seed, scheduler name, device, ecc) -> content
+        #: key of the last *completed* report — the stale-serving index
+        #: of degraded mode.
+        self._family_index: dict[tuple, str] = {}
         #: Every job this daemon knows (live + recovered), by id.
         self.jobs: dict[str, Job] = {}
         self.queue: Optional[JobQueue] = None
@@ -216,6 +269,16 @@ class ServiceDaemon:
             max_workers=max(1, self.workers),
             thread_name_prefix="repro-sim",
         )
+        if self.workers > 0 and self.process_tier:
+            self.tier = WorkerTier(
+                self.workers,
+                retries=self.retries,
+                retry_backoff=self.retry_backoff,
+                deadline=self.cell_timeout,
+                chaos=self.chaos,
+                metrics=self.hub,
+            )
+            self.tier.start()
         self.journal.open()
         await self._recover()
         self._server = await asyncio.start_server(
@@ -227,7 +290,9 @@ class ServiceDaemon:
         ]
         self._log(
             f"serving on http://{self.host}:{self.port} "
-            f"(workers={self.workers}, queue={self.queue_size}, "
+            f"(workers={self.workers}"
+            f"{' [process tier]' if self.tier else ''}, "
+            f"queue={self.queue_size}, "
             f"cache={self.cache.root if self.cache.enabled else 'off'})"
         )
         self._ready.set()
@@ -284,6 +349,8 @@ class ServiceDaemon:
             await asyncio.gather(
                 *self._worker_tasks, return_exceptions=True
             )
+        if self.tier is not None:
+            await self.tier.close()
         self._executor.shutdown(wait=drain, cancel_futures=not drain)
         self._finished.set()
 
@@ -333,6 +400,41 @@ class ServiceDaemon:
                 self._set_state(member, JobState.FAILED)
                 self.hub.inc(SERVICE_FAILED)
 
+    @staticmethod
+    def _family_of(job: Job) -> tuple:
+        """Degraded-mode grouping: specs that are 'the same experiment'
+        modulo tunables — the last completed member is an acceptable
+        stale answer when the execution tier is down."""
+        return (
+            job.app,
+            job.scale,
+            job.seed,
+            job.spec.scheduler.name,
+            job.spec.device,
+            job.spec.ecc,
+        )
+
+    def _note_success(self, job: Job) -> None:
+        """A simulation (or cache hit) for this key completed: reset its
+        breaker history and index it for degraded-mode stale serving."""
+        self.breaker.record_success(job.key)
+        self._family_index[self._family_of(job)] = job.key
+
+    def _note_failure(
+        self, job: Job, error: Optional[dict], *, fatal: bool
+    ) -> None:
+        """A job failed terminally: finish it and charge the breaker."""
+        tripped = self.breaker.record_failure(
+            job.key, error, fatal=fatal
+        )
+        if tripped:
+            self.hub.inc(SERVICE_BREAKER_OPENED)
+            self._log(
+                f"circuit OPEN for key {job.key[:16]}… after "
+                f"{self.breaker.threshold} consecutive failure(s)"
+            )
+        self._finish_job(job, report=None, error=error)
+
     async def _worker(self) -> None:
         while True:
             job = await self.queue.get()
@@ -342,18 +444,27 @@ class ServiceDaemon:
             self._running[job.id] = job
             started = time.monotonic()
             try:
-                report = await self._loop.run_in_executor(
-                    self._executor, self._execute_sync, job
+                if self.tier is not None and not job.spec.telemetry:
+                    report = await self.tier.execute(job)
+                    await self._loop.run_in_executor(
+                        self._executor, self._store_result, job, report
+                    )
+                else:
+                    report = await self._loop.run_in_executor(
+                        self._executor, self._execute_sync, job
+                    )
+            except TierExecutionFailed as exc:
+                self._note_failure(
+                    job, exc.failure.to_dict(), fatal=exc.fatal
                 )
             except _JobFailed as exc:
-                self._finish_job(
-                    job, report=None, error=exc.failure.to_dict()
+                self._note_failure(
+                    job, exc.failure.to_dict(), fatal=False
                 )
             except Exception as exc:  # daemon bug / unexpected
-                self._finish_job(
+                self._note_failure(
                     job,
-                    report=None,
-                    error={
+                    {
                         "error_type": type(exc).__name__,
                         "message": str(exc),
                         "traceback": "".join(
@@ -362,13 +473,22 @@ class ServiceDaemon:
                             )
                         ),
                     },
+                    fatal=False,
                 )
             else:
+                self._note_success(job)
                 self._finish_job(job, report=report, error=None)
             finally:
                 self.queue.note_duration(time.monotonic() - started)
                 self._running.pop(job.id, None)
                 self.queue.release(job)
+
+    def _store_result(self, job: Job, report: SimReport) -> None:
+        """Persist a tier-produced report (the tier's workers compute;
+        the daemon owns the cache) — runs on an executor thread."""
+        self.hub.inc(SERVICE_SIMULATIONS)
+        if self.cache.enabled:
+            self.cache.store(job.key, report)
 
     # ------------------------------------------------------------------
     # Simulation execution (runs in executor threads)
@@ -472,8 +592,8 @@ class ServiceDaemon:
         try:
             request = await self._read_request(reader, writer)
             if request is not None:
-                method, path, body = request
-                await self._route(method, path, body, writer)
+                method, path, body, headers = request
+                await self._route(method, path, body, headers, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:
@@ -501,7 +621,7 @@ class ServiceDaemon:
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
-    ) -> Optional[tuple[str, str, bytes]]:
+    ) -> Optional[tuple[str, str, bytes, dict[str, str]]]:
         try:
             request_line = await reader.readline()
         except (ValueError, ConnectionError):
@@ -510,17 +630,17 @@ class ServiceDaemon:
         if len(parts) < 2:
             return None
         method, target = parts[0].upper(), parts[1]
-        content_length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    content_length = 0
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", 0))
+        except ValueError:
+            content_length = 0
         if content_length > _MAX_BODY_BYTES:
             self._respond(writer, 413, {"error": "request body too large"})
             return None
@@ -528,7 +648,7 @@ class ServiceDaemon:
             await reader.readexactly(content_length)
             if content_length else b""
         )
-        return method, urlsplit(target).path, body
+        return method, urlsplit(target).path, body, headers
 
     def _respond(
         self,
@@ -556,6 +676,7 @@ class ServiceDaemon:
         method: str,
         path: str,
         body: bytes,
+        headers: dict[str, str],
         writer: asyncio.StreamWriter,
     ) -> None:
         if path == "/v1/healthz" and method == "GET":
@@ -582,7 +703,9 @@ class ServiceDaemon:
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/events") and method == "GET":
-                await self._handle_events(rest[: -len("/events")], writer)
+                await self._handle_events(
+                    rest[: -len("/events")], headers, writer
+                )
                 return
             if rest.endswith("/cancel") and method == "POST":
                 await self._handle_cancel(rest[: -len("/cancel")], writer)
@@ -596,14 +719,25 @@ class ServiceDaemon:
 
     # ------------------------------------------------------------------
     def _healthz_doc(self) -> dict:
-        return {
+        doc = {
             "ok": True,
             "serving": not self._stopping,
             "queued": len(self.queue) if self.queue else 0,
             "running": len(self._running),
             "workers": self.workers,
             "uptime_seconds": time.time() - self._started_at,
+            "breaker_open_keys": len(self.breaker.open_keys),
         }
+        if self.tier is not None:
+            doc["tier"] = self.tier.healthz()
+            if doc["tier"]["state"] != "ok":
+                doc["ok"] = doc["tier"]["state"] != "down"
+        else:
+            doc["tier"] = {
+                "state": "in-process",
+                "size": self.workers,
+            }
+        return doc
 
     def stats_doc(self) -> dict:
         """The ``/v1/stats`` document (also used by tests directly)."""
@@ -623,6 +757,10 @@ class ServiceDaemon:
             },
             "jobs": by_state,
             "cache": self.cache.info(),
+            "breaker": self.breaker.snapshot(),
+            "tier": (
+                self.tier.healthz() if self.tier is not None else None
+            ),
             "uptime_seconds": time.time() - self._started_at,
         }
 
@@ -649,9 +787,44 @@ class ServiceDaemon:
                 headers={"Retry-After": "5"},
             )
             return
+        if self.tier is not None and not self.tier.available:
+            await self._handle_degraded_submit(job, writer)
+            return
+        if self._should_shed():
+            hint = max(1.0, self.queue.retry_after_hint())
+            self.hub.inc(SERVICE_SHED)
+            self._respond(
+                writer,
+                429,
+                {
+                    "error": "worker tier saturated; load shed",
+                    "retry_after": hint,
+                },
+                headers={"Retry-After": f"{hint:.0f}"},
+            )
+            return
+        try:
+            was_trial = self.breaker.check(job.key)
+        except RejectedByBreaker as exc:
+            self.hub.inc(SERVICE_BREAKER_REJECTED)
+            self._respond(
+                writer,
+                422,
+                {
+                    "error": str(exc),
+                    "error_type": "CircuitOpen",
+                    "key": job.key,
+                    "breaker": exc.entry.to_dict(),
+                    "retry_after": exc.retry_after,
+                },
+                headers={"Retry-After": f"{exc.retry_after:.0f}"},
+            )
+            return
         try:
             outcome = await self.queue.admit(job)
         except QueueFullError as exc:
+            if was_trial:
+                self.breaker.abandon_trial(job.key)
             self._respond(
                 writer,
                 429,
@@ -665,6 +838,7 @@ class ServiceDaemon:
         if outcome == ADMIT_CACHED:
             self.journal.record_state(job)
             self.hub.inc(SERVICE_COMPLETED)
+            self._note_success(job)
             status = 200
         else:
             status = 202
@@ -672,6 +846,69 @@ class ServiceDaemon:
             writer,
             status,
             {"outcome": outcome, "job": job.to_public_dict()},
+        )
+
+    def _should_shed(self) -> bool:
+        """Load-shedding predicate: every tier worker busy *and* the
+        queue past its watermark — more queueing only grows latency, so
+        an immediate 429 with a truthful Retry-After is kinder than a
+        deep queue slot.  Shedding happens before any cache probe: an
+        overloaded daemon spares itself even the disk read."""
+        if self.tier is None or self.workers == 0:
+            return False
+        return (
+            len(self._running) >= self.workers
+            and len(self.queue) >= max(
+                1, int(self.shed_watermark * self.queue_size)
+            )
+        )
+
+    async def _handle_degraded_submit(
+        self, job: Job, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve what we can with the execution tier down: exact cache
+        hits normally, a *stale* relative's report with a degraded
+        label, else an honest 503 with a retry hint."""
+        report = self.cache.load(job.key) if self.cache.enabled else None
+        stale_key = None
+        if report is None:
+            stale_key = self._family_index.get(self._family_of(job))
+            if stale_key is not None and self.cache.enabled:
+                report = self.cache.load(stale_key)
+        if report is None:
+            self._respond(
+                writer,
+                503,
+                {
+                    "error": "execution tier unavailable and no cached "
+                             "report to serve",
+                    "retry_after": 5.0,
+                },
+                headers={"Retry-After": "5"},
+            )
+            return
+        self.hub.inc(SERVICE_SUBMITTED)
+        self.jobs[job.id] = job
+        self.journal.record_submit(job)
+        job.report = report
+        job.cached = True
+        degraded = stale_key is not None
+        job.degraded = degraded
+        job.transition(JobState.DONE)
+        self.journal.record_state(job)
+        self.hub.inc(SERVICE_COMPLETED)
+        headers = {}
+        if degraded:
+            self.hub.inc(SERVICE_STALE_SERVED)
+            headers["X-Repro-Degraded"] = "stale-cache"
+        self._respond(
+            writer,
+            200,
+            {
+                "outcome": "degraded" if degraded else ADMIT_CACHED,
+                "job": job.to_public_dict(),
+            },
+            headers=headers,
         )
 
     def _resolve_result(self, job: Job) -> None:
@@ -718,6 +955,9 @@ class ServiceDaemon:
             return
         self.journal.record_state(job)
         self.hub.inc(SERVICE_CANCELLED)
+        # If this submission was the breaker's half-open probe, free the
+        # slot so the next submission can take its place.
+        self.breaker.abandon_trial(job.key)
         if promoted is not None:
             self.journal.record_state(promoted)
         self._respond(
@@ -725,16 +965,13 @@ class ServiceDaemon:
         )
 
     # ------------------------------------------------------------------
-    # Server-sent events
+    # Server-sent events (crash-safe fan-out, see repro.service.stream)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _sse_frame(event: str, data: dict) -> bytes:
-        return (
-            f"event: {event}\ndata: {json.dumps(data)}\n\n"
-        ).encode("utf-8")
-
     async def _handle_events(
-        self, job_id: str, writer: asyncio.StreamWriter
+        self,
+        job_id: str,
+        headers: dict[str, str],
+        writer: asyncio.StreamWriter,
     ) -> None:
         job = self.jobs.get(job_id)
         if job is None:
@@ -742,6 +979,16 @@ class ServiceDaemon:
                 writer, 404, {"error": f"unknown job {job_id!r}"}
             )
             return
+        if job.ring is None:
+            job.ring = EventRing(self.sse_ring_events)
+        ring: EventRing = job.ring
+        last_seen = 0
+        raw_lei = headers.get("last-event-id", "")
+        if raw_lei:
+            try:
+                last_seen = max(0, int(raw_lei))
+            except ValueError:
+                last_seen = 0
         self.hub.inc(SERVICE_SSE_STREAMS)
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -750,46 +997,35 @@ class ServiceDaemon:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
-        sent = 0
-        last_state: Optional[str] = None
+        gap_reported = False
         while True:
             execution = self._execution_of(job)
             if job.state is JobState.DONE and job.report is None:
                 self._resolve_result(job)
-            samples = execution.window_samples()
-            for sample in samples[sent:]:
-                writer.write(
-                    self._sse_frame("window", sample.to_dict())
-                )
-            sent = max(sent, len(samples))
-            if job.state.value != last_state:
-                last_state = job.state.value
-                writer.write(
-                    self._sse_frame(
-                        "state",
-                        job.to_public_dict(include_result=False),
+            ring.sync(job, execution)
+            if last_seen and not gap_reported:
+                gap_reported = True
+                lost = ring.lost_before(last_seen)
+                if lost:
+                    # Synthetic, id-less frame: the replay window lost
+                    # its tail to the bounded ring.
+                    writer.write(
+                        (
+                            "event: gap\ndata: "
+                            + json.dumps({
+                                "missed": lost,
+                                "oldest_retained": ring.first_id,
+                            })
+                            + "\n\n"
+                        ).encode("utf-8")
                     )
+            for event_id, event, data in ring.since(last_seen):
+                writer.write(
+                    sse_frame(event_id, event, json.dumps(data))
                 )
+                last_seen = event_id
             await writer.drain()
-            if job.terminal:
-                summary: dict = {
-                    "id": job.id,
-                    "state": job.state.value,
-                    "cached": job.cached,
-                    "windows": sent,
-                    "error": job.error,
-                }
-                if job.report is not None:
-                    summary["metrics"] = {
-                        "ipc": job.report.ipc,
-                        "activations": job.report.activations,
-                        "row_energy_nj": job.report.row_energy_nj,
-                        "coverage": job.report.coverage,
-                        "elapsed_mem_cycles": (
-                            job.report.elapsed_mem_cycles
-                        ),
-                    }
-                writer.write(self._sse_frame(job.state.value, summary))
-                await writer.drain()
+            if job.terminal and ring.terminal_published \
+                    and last_seen >= ring.last_id:
                 return
             await asyncio.sleep(self.sse_poll_seconds)

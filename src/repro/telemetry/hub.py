@@ -78,6 +78,22 @@ SERVICE_RECOVERED = "service.jobs.recovered"
 SERVICE_SIMULATIONS = "service.simulations"
 #: SSE event-stream connections served.
 SERVICE_SSE_STREAMS = "service.sse.streams"
+#: Submissions shed with 429 because the worker tier was saturated.
+SERVICE_SHED = "service.jobs.shed"
+#: Stale-but-labeled cached reports served while the tier was down.
+SERVICE_STALE_SERVED = "service.jobs.stale_served"
+#: Circuits tripped open by consecutive terminal failures of one key.
+SERVICE_BREAKER_OPENED = "service.breaker.opened"
+#: Submissions rejected with 422 while their key's circuit was open.
+SERVICE_BREAKER_REJECTED = "service.breaker.rejected"
+#: Worker-tier processes respawned in place (crash, hang, or wedge).
+SERVICE_TIER_RESPAWNS = "service.tier.respawns"
+#: Idle tier workers respawned for missing heartbeats.
+SERVICE_TIER_STALE_RESPAWNS = "service.tier.stale_respawns"
+#: Tier attempts that breached the per-job wall-clock deadline.
+SERVICE_TIER_TIMEOUTS = "service.tier.timeouts"
+#: Tier attempts lost to a dying worker process.
+SERVICE_TIER_CRASHES = "service.tier.worker_crashes"
 
 
 class MetricsHub:

@@ -117,6 +117,45 @@ class TestFaultPlanParsing:
         assert plan is not None and len(plan.specs) == 2
 
 
+class TestStrideGrammar:
+    """``kind@cell/stride`` — deterministic fault *rates* for the
+    service tier's chaos load tests."""
+
+    def test_stride_parses(self) -> None:
+        assert FaultSpec.parse("exit@0/5") == FaultSpec(
+            kind="exit", cell=0, stride=5
+        )
+
+    def test_stride_composes_with_seconds_and_attempts(self) -> None:
+        spec = FaultSpec.parse("hang@2/3:1.5x4")
+        assert spec == FaultSpec(
+            kind="hang", cell=2, stride=3, seconds=1.5, attempts=4
+        )
+
+    def test_stride_matches_the_arithmetic_progression(self) -> None:
+        spec = FaultSpec.parse("crash@1/4")
+        assert [c for c in range(14) if spec.matches(c)] == [1, 5, 9, 13]
+
+    def test_zero_stride_is_exact_match(self) -> None:
+        spec = FaultSpec.parse("crash@3")
+        assert spec.matches(3)
+        assert not spec.matches(6)
+        assert not spec.matches(0)
+
+    @pytest.mark.parametrize(
+        "bad", ["exit@0/0", "exit@0/-2", "exit@/5", "exit@0/two"]
+    )
+    def test_invalid_strides_raise(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_plan_active_honours_stride_and_attempts(self) -> None:
+        plan = FaultPlan.parse("crash@0/2x2")
+        assert list(plan.active(4, 2))
+        assert not list(plan.active(3, 1))  # off the progression
+        assert not list(plan.active(4, 3))  # attempts exhausted
+
+
 class TestFaultPlanFiring:
     def test_crash_fires_only_for_its_cell_and_attempts(self) -> None:
         plan = FaultPlan.parse("crash@1x2")
