@@ -117,6 +117,61 @@ def measure_telemetry_overhead(apps, *, scale: float, seed: int,
     }
 
 
+def measure_tenants(*, scale: float, seed: int) -> dict:
+    """Composer + arbiter overhead of the multi-tenant path.
+
+    Times one 3-tenant mix (one tenant per service class, batch-fair
+    arbitration) against the summed solo runs of its members on the
+    same scheme: the delta is what trace interleaving, per-request
+    tenant tagging, the arbiter fold, and the tracker hooks cost.
+    """
+    from repro.config.tenants import TenantMixSpec, TenantSpec
+    from repro.dram.request import reset_request_ids
+    from repro.sim.spec import SimSpec
+    from repro.sim.system import simulate_spec
+    from repro.workloads.tenant_mix import TenantMix
+
+    scheme = dms_only(128)
+    mix = TenantMixSpec(
+        tenants=(
+            TenantSpec(name="lat", workload="SCP",
+                       tenant_class="latency", scale=scale),
+            TenantSpec(name="bw", workload="GEMM",
+                       tenant_class="bandwidth", scale=scale),
+            TenantSpec(name="ax", workload="blackscholes",
+                       tenant_class="approx-batch", scale=scale),
+        ),
+        arbiter="batch-fair",
+    )
+    reset_request_ids()
+    workload = TenantMix(mix, scale=1.0, seed=seed)
+    start = time.perf_counter()
+    report = simulate_spec(
+        workload, SimSpec(scheduler=scheme, tenants=mix)
+    )
+    mix_wall = time.perf_counter() - start
+    solo_wall = 0.0
+    for tenant in mix.tenants:
+        reset_request_ids()
+        solo = get_workload(
+            tenant.workload, scale=scale, seed=seed
+        )
+        start = time.perf_counter()
+        simulate_spec(solo, SimSpec(scheduler=scheme))
+        solo_wall += time.perf_counter() - start
+    return {
+        "arbiter": mix.arbiter,
+        "tenants": len(mix.tenants),
+        "mix_wall_s": round(mix_wall, 4),
+        "solo_sum_wall_s": round(solo_wall, 4),
+        "overhead_pct": (
+            round(100.0 * (mix_wall - solo_wall) / solo_wall, 2)
+            if solo_wall > 0 else None
+        ),
+        "requests_served": report.requests_served,
+    }
+
+
 def _time_matrix(apps, schemes, *, scale: float, seed: int,
                  jobs: int, threads: bool = False) -> float:
     """One fresh ``run_matrix`` against a prewarmed pool, in seconds."""
@@ -163,7 +218,8 @@ def measure_matrix(apps, *, scale: float, seed: int,
 
 def run_benchmark(*, scale: float, seed: int, jobs: int,
                   apps=DEFAULT_APPS, matrix: bool = True,
-                  telemetry_window: int = 0) -> dict:
+                  telemetry_window: int = 0,
+                  tenants: bool = False) -> dict:
     cells = [
         measure_cell(app, label, scheme, scale=scale, seed=seed)
         for app in apps
@@ -196,6 +252,8 @@ def run_benchmark(*, scale: float, seed: int, jobs: int,
         result["telemetry"] = measure_telemetry_overhead(
             apps, scale=scale, seed=seed, window=telemetry_window
         )
+    if tenants:
+        result["tenants"] = measure_tenants(scale=scale, seed=seed)
     return result
 
 
@@ -216,6 +274,9 @@ def _summarize(result: dict, *, date: str) -> dict:
             }
         elif "speedup" in matrix:  # pre-scaling single-level format
             entry["matrix_speedups"] = {"jobs": matrix["speedup"]}
+    tenants = result.get("tenants")
+    if isinstance(tenants, dict):
+        entry["tenants_overhead_pct"] = tenants.get("overhead_pct")
     return entry
 
 
@@ -252,6 +313,10 @@ def main(argv=None) -> int:
                         help="also time every cell with a live telemetry"
                         " hub (optional window size, default 4096) and"
                         " report the sampling overhead")
+    parser.add_argument("--tenants", action="store_true",
+                        help="also time a 3-tenant mix against the "
+                        "summed solo runs of its members (composer + "
+                        "arbiter overhead)")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help="output JSON path")
     args = parser.parse_args(argv)
@@ -259,6 +324,7 @@ def main(argv=None) -> int:
         scale=args.scale, seed=args.seed, jobs=max(1, args.jobs),
         matrix=not args.no_matrix,
         telemetry_window=max(0, args.telemetry),
+        tenants=args.tenants,
     )
     out = Path(args.out)
     history = _load_history(out)
@@ -294,6 +360,12 @@ def main(argv=None) -> int:
         t = result["telemetry"]
         print(f"telemetry({t['window_cycles']}): off {t['off_wall_s']}s"
               f" on {t['on_wall_s']}s overhead {t['overhead_pct']}%")
+    if "tenants" in result:
+        t = result["tenants"]
+        print(f"tenants({t['tenants']}x, {t['arbiter']}):"
+              f" mix {t['mix_wall_s']}s"
+              f" solo-sum {t['solo_sum_wall_s']}s"
+              f" overhead {t['overhead_pct']}%")
     print(f"wrote {out}")
     return 0
 
@@ -305,6 +377,14 @@ def test_sim_throughput_smoke():
     for cell in result["cells"]:
         assert cell["events_processed"] > 0
         assert cell["events_per_s"] > 0
+
+
+def test_tenants_overhead_smoke():
+    """The tenants measurement runs and reports both wall clocks."""
+    data = measure_tenants(scale=0.05, seed=7)
+    assert data["mix_wall_s"] > 0
+    assert data["solo_sum_wall_s"] > 0
+    assert data["requests_served"] > 0
 
 
 if __name__ == "__main__":

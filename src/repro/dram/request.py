@@ -54,6 +54,10 @@ class MemoryRequest:
     tag:
         Opaque workload token mapping the request back to kernel data
         elements; used by the approximation-replay pipeline.
+    tenant_id:
+        Index of the owning tenant in the run's
+        :class:`~repro.config.tenants.TenantMixSpec` roster; 0 for
+        single-workload runs (the only tenant).
     """
 
     addr: int
@@ -67,6 +71,7 @@ class MemoryRequest:
     arrival_time: float = 0.0
     enqueue_time: float = 0.0
     tag: Any = None
+    tenant_id: int = 0
     rid: int = field(default_factory=lambda: next(_rids.counter))
 
     @classmethod
@@ -79,6 +84,7 @@ class MemoryRequest:
         approximable: bool = False,
         arrival_time: float = 0.0,
         tag: Any = None,
+        tenant_id: int = 0,
     ) -> "MemoryRequest":
         """Build a request by decoding ``addr`` with ``mapping``."""
         d = mapping.decode(addr)
@@ -94,6 +100,7 @@ class MemoryRequest:
             arrival_time=arrival_time,
             enqueue_time=arrival_time,
             tag=tag,
+            tenant_id=tenant_id,
         )
 
     @property

@@ -52,9 +52,17 @@ class GPUFrontend:
         config: GPUConfig,
         warp_streams: Sequence[Sequence[WarpOp]],
         mem_access_fn: MemAccessFn,
+        stream_tenants: Optional[Sequence[int]] = None,
     ) -> None:
         if not warp_streams:
             raise WorkloadError("workload produced no warp streams")
+        if stream_tenants is not None and (
+            len(stream_tenants) != len(warp_streams)
+        ):
+            raise WorkloadError(
+                "stream_tenants must align 1:1 with warp_streams "
+                f"({len(stream_tenants)} vs {len(warp_streams)})"
+            )
         self._engine = engine
         self._config = config
         self._mem_access = mem_access_fn
@@ -66,10 +74,16 @@ class GPUFrontend:
         for i, ops in enumerate(warp_streams):
             sm = i % config.num_sms
             warp = Warp(warp_id=i, sm_id=sm, ops=ops)
+            if stream_tenants is not None:
+                warp.tenant_id = stream_tenants[i]
             self.warps.append(warp)
             self._rt[i] = _WarpRuntime()
         self.finished_warps = 0
         self.finish_time_mem: float = 0.0
+        #: Per-tenant finish time (memory cycles), keyed by tenant_id;
+        #: populated only when ``stream_tenants`` was given.
+        self.tenant_finish_time: dict[int, float] = {}
+        self._track_tenants = stream_tenants is not None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -147,6 +161,10 @@ class GPUFrontend:
         warp.state = WarpState.FINISHED
         self.finished_warps += 1
         self.finish_time_mem = max(self.finish_time_mem, self._engine.now)
+        if self._track_tenants:
+            tid = warp.tenant_id
+            if self._engine.now > self.tenant_finish_time.get(tid, 0.0):
+                self.tenant_finish_time[tid] = self._engine.now
         # Hand the SM slot to a deferred warp, if any is waiting.
         if self._deferred:
             nxt = self._deferred.pop(0)
@@ -165,6 +183,15 @@ class GPUFrontend:
     def total_instructions(self) -> int:
         """Instructions retired across all warps."""
         return sum(w.instructions_retired for w in self.warps)
+
+    def tenant_instructions(self) -> dict[int, int]:
+        """Instructions retired per tenant_id (multi-tenant accounting)."""
+        totals: dict[int, int] = {}
+        for w in self.warps:
+            totals[w.tenant_id] = (
+                totals.get(w.tenant_id, 0) + w.instructions_retired
+            )
+        return totals
 
     def unfinished(self) -> list[Warp]:
         """Warps that have not finished (deadlock diagnostics)."""

@@ -57,6 +57,7 @@ class Warp:
     __slots__ = (
         "warp_id",
         "sm_id",
+        "tenant_id",
         "_ops",
         "state",
         "outstanding_loads",
@@ -70,6 +71,8 @@ class Warp:
     ) -> None:
         self.warp_id = warp_id
         self.sm_id = sm_id
+        #: Owning tenant in a multi-tenant mix (0 = sole tenant).
+        self.tenant_id = 0
         self._ops = iter(ops)
         self.state = WarpState.COMPUTING
         self.outstanding_loads = 0

@@ -859,9 +859,147 @@ def _watch_main(argv: list[str]) -> int:
     return EXIT_OK
 
 
+def _parse_tenant_token(token: str):
+    """Parse one ``--tenant NAME=WORKLOAD[:CLASS[:SCALE[:SEED]]]``."""
+    from repro.config.tenants import TENANT_CLASSES, TenantSpec
+
+    name, sep, rest = token.partition("=")
+    if not sep or not name or not rest:
+        raise ConfigError(
+            f"bad tenant {token!r}; expected "
+            "NAME=WORKLOAD[:CLASS[:SCALE[:SEED]]]"
+        )
+    parts = rest.split(":")
+    workload = parts[0]
+    tenant_class = parts[1] if len(parts) > 1 and parts[1] else "bandwidth"
+    if tenant_class not in TENANT_CLASSES:
+        raise ConfigError(
+            f"bad tenant class {tenant_class!r} in {token!r}; "
+            f"known: {', '.join(TENANT_CLASSES)}"
+        )
+    try:
+        scale = float(parts[2]) if len(parts) > 2 and parts[2] else 1.0
+        seed = int(parts[3]) if len(parts) > 3 and parts[3] else None
+    except ValueError as exc:
+        raise ConfigError(f"bad tenant {token!r}: {exc}") from None
+    if len(parts) > 4:
+        raise ConfigError(
+            f"bad tenant {token!r}; expected "
+            "NAME=WORKLOAD[:CLASS[:SCALE[:SEED]]]"
+        )
+    return TenantSpec(
+        name=name, workload=workload, tenant_class=tenant_class,
+        scale=scale, seed=seed,
+    )
+
+
+def _tenants_main(argv: list[str]) -> int:
+    """The ``repro-harness tenants`` subcommand: shared-memory mix.
+
+    Simulates one multi-tenant mix under one scheme, runs (or
+    cache-loads) each tenant's class-scoped solo baseline, and prints
+    the per-tenant slowdown / drop / row-energy-share table with the
+    mix-wide Jain fairness index.
+    """
+    from repro.config.tenants import TenantMixSpec
+    from repro.harness.tenants import attach_slowdowns, fairness_table
+    from repro.sched.policies import arbiter_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness tenants",
+        description=(
+            "Simulate a multi-tenant shared-memory mix and report "
+            "per-tenant slowdown, fairness, and row-energy shares."
+        ),
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="SPEC",
+        help="NAME=WORKLOAD[:CLASS[:SCALE[:SEED]]] (repeatable; "
+        "CLASS is latency, bandwidth, or approx-batch)",
+    )
+    parser.add_argument(
+        "--arbiter", default="shared-frfcfs", choices=arbiter_names(),
+        help="multi-tenant channel arbiter (default: shared-frfcfs)",
+    )
+    parser.add_argument(
+        "--scheme", default="static-dms+static-ams",
+        choices=scheme_ids(),
+        help="scheduling scheme shared by all tenants",
+    )
+    parser.add_argument(
+        "--device", default=None, choices=device_names(),
+        help="DRAM device preset (default: config-embedded GDDR5)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="global workload size multiplier applied to every tenant",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="default data/trace seed (per-tenant seeds override)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="parallel workers for the solo-baseline sweep",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache",
+    )
+    parser.add_argument(
+        "--no-baselines", action="store_true",
+        help="skip the solo baselines (no slowdown/fairness columns)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-cell progress logging",
+    )
+    args = parser.parse_args(argv)
+    if not args.tenant:
+        parser.error("at least one --tenant is required")
+    try:
+        tenants = tuple(_parse_tenant_token(t) for t in args.tenant)
+        mix = TenantMixSpec(tenants=tenants, arbiter=args.arbiter)
+        mix.validate()
+    except ConfigError as exc:
+        parser.error(str(exc))
+    scheme = scheme_def(args.scheme).build()
+    runner = Runner(
+        scale=args.scale, seed=args.seed, device=args.device,
+        tenants=mix, verbose=not args.quiet, jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+    )
+    label = "+".join(t.workload for t in tenants)
+    try:
+        report = runner.run(label, scheme)
+        if report.tenants is not None and not args.no_baselines:
+            attach_slowdowns(report, runner, mix, scheme)
+    except CellFailedError as exc:
+        _emit_failures(runner.failures or exc.failures, None)
+        return EXIT_FAILED
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"mix {label}  scheme {scheme.name}"
+          + (f"  device {args.device}" if args.device else ""))
+    if report.tenants is None:
+        # Single-tenant passthrough: the report has no tenant section
+        # by design (it is field-identical to a plain run).
+        print(report.summary())
+    else:
+        print(fairness_table(report.tenants))
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or ``all``) and print its tables."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "tenants":
+        return _tenants_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     if argv and argv[0] == "trace":

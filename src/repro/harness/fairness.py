@@ -1,0 +1,41 @@
+"""Fairness and slowdown metrics for multi-tenant runs.
+
+Pure math, kept free of simulator imports so the property tests
+(`tests/test_tenants.py`) can exercise it exhaustively with Hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Bounded in ``[1/n, 1]`` for non-negative, not-all-zero inputs and
+    invariant under permutation and positive scaling; 1.0 means every
+    tenant got an identical share. Degenerate inputs (empty, or all
+    zero) return 1.0 — nothing was shared, so nothing was unfair.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    if any(v < 0.0 for v in xs):
+        raise ValueError("jain_index is defined for non-negative values")
+    total = sum(xs)
+    square_sum = sum(v * v for v in xs)
+    if square_sum <= 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * square_sum)
+
+
+def slowdown(shared_cycles: float, solo_cycles: float) -> float:
+    """A tenant's slowdown: shared-run finish time over its solo time.
+
+    1.0 means the tenant ran as if alone; values above 1.0 quantify the
+    interference it suffered. A non-positive solo baseline (a tenant
+    that did nothing) reports 1.0 rather than dividing by zero.
+    """
+    if solo_cycles <= 0.0:
+        return 1.0
+    return shared_cycles / solo_cycles

@@ -74,6 +74,7 @@ from repro.errors import CellFailedError, CellTimeoutError, WorkerCrashError
 from repro.harness.cache import ResultCache, cache_key
 from repro.harness.faults import CellFailure, FaultPlan, corrupt_blob
 from repro.harness.pool import WarmPool
+from repro.config.tenants import TenantMixSpec
 from repro.sim.report import SimReport
 from repro.sim.spec import SimSpec
 from repro.sim.system import GPUSystem, simulate_spec
@@ -116,6 +117,9 @@ class CellSpec:
     #: Keep per-channel activation logs on the report (service jobs may
     #: turn this off; the CLI runner always leaves it on).
     record_activations: bool = True
+    #: Multi-tenant mix; when set, ``app`` only labels the cell — the
+    #: simulated trace is the mix's own workload roster.
+    tenants: Optional[TenantMixSpec] = None
 
     @property
     def sim_spec(self) -> SimSpec:
@@ -128,6 +132,7 @@ class CellSpec:
             record_activations=self.record_activations,
             ecc=self.ecc,
             faults=self.faults if self.faults is not None else FaultConfig(),
+            tenants=self.tenants,
         )
 
     @property
@@ -164,7 +169,14 @@ def _simulate_cell(
     if faults is not None and cell_index is not None:
         faults.fire_pre_simulation(cell_index, attempt, in_worker=in_worker)
     reset_request_ids()
-    workload = get_workload(spec.app, scale=spec.scale, seed=spec.seed)
+    if spec.tenants is not None:
+        from repro.workloads.tenant_mix import TenantMix
+
+        workload = TenantMix(
+            spec.tenants, scale=spec.scale, seed=spec.seed
+        )
+    else:
+        workload = get_workload(spec.app, scale=spec.scale, seed=spec.seed)
     start = time.perf_counter()
     report = simulate_spec(workload, spec.sim_spec)
     return report, time.perf_counter() - start
@@ -281,6 +293,8 @@ class Runner:
     #: DRAM bit-flip fault model for every cell (None = disabled).
     #: Distinct from :attr:`faults`, which is the harness *chaos* plan.
     fault_model: Optional[FaultConfig] = None
+    #: Multi-tenant mix applied to every cell (None = single-workload).
+    tenants: Optional[TenantMixSpec] = None
     verbose: bool = True
     jobs: int = 1
     #: Use worker threads instead of processes for matrix fan-out.
@@ -318,6 +332,7 @@ class Runner:
             device=self.device,
             ecc=self.ecc,
             faults=self.fault_model,
+            tenants=self.tenants,
         )
 
     def _log(self, app: str, label: str, detail: str) -> None:
@@ -470,7 +485,14 @@ class Runner:
         ``timeline``) to an untraced run of the same cell.
         """
         reset_request_ids()
-        workload = get_workload(app, scale=self.scale, seed=self.seed)
+        if self.tenants is not None:
+            from repro.workloads.tenant_mix import TenantMix
+
+            workload = TenantMix(
+                self.tenants, scale=self.scale, seed=self.seed
+            )
+        else:
+            workload = get_workload(app, scale=self.scale, seed=self.seed)
         hub = MetricsHub(window_cycles=window_cycles)
         system = GPUSystem.from_spec(
             SimSpec(
@@ -480,6 +502,7 @@ class Runner:
                     self.fault_model if self.fault_model is not None
                     else FaultConfig()
                 ),
+                tenants=self.tenants,
             ),
             log_commands=log_commands,
             telemetry=hub,
@@ -488,6 +511,7 @@ class Runner:
         report = system.run(
             workload.warp_streams(system.config),
             workload_name=workload.name,
+            stream_tenants=getattr(workload, "stream_tenants", None),
         )
         self.simulations_run += 1
         self._log(

@@ -65,9 +65,13 @@ class MemoryController:
     ) -> None:
         self.channel = channel
         self.config = config
+        self.sched_config = sched_config
         self.engine = engine
         self.reply_fn = reply_fn
         self.predictor = predictor
+        #: Per-tenant accounting; installed by ``attach_tenants`` for
+        #: multi-tenant runs, ``None`` (zero-cost guards) otherwise.
+        self.tenants = None
         # Counters/gauges fire only at low-frequency points (window
         # ticks, drops); with the default NULL_HUB every call is a no-op.
         self.telemetry = telemetry if telemetry is not None else NULL_HUB
@@ -127,6 +131,34 @@ class MemoryController:
         self._window_arrivals = 0
 
     # ------------------------------------------------------------------
+    # Multi-tenant attachment
+    # ------------------------------------------------------------------
+    def attach_tenants(self, tracker, mix) -> None:
+        """Install per-tenant accounting and the mix's arbiter.
+
+        Swaps the selector for the arbiter named by the
+        :class:`~repro.config.tenants.TenantMixSpec` (re-bound to this
+        controller's queue/channel/gate) and hooks the shared
+        :class:`~repro.sched.tenants.TenantTracker` into the arrival /
+        issue / drop paths. Called only for multi-tenant runs, before
+        any traffic — single-tenant controllers never take this path.
+        """
+        from repro.sched.policies import make_arbiter
+
+        self.tenants = tracker
+        selector = make_arbiter(mix.arbiter, self.sched_config, mix)
+        selector.bind(
+            queue=self.queue, channel=self.channel, gate=self.dms
+        )
+        self.selector = selector
+        self._notify_issue = (
+            selector.on_issue
+            if type(selector).on_issue is not CandidateSelector.on_issue
+            else None
+        )
+        self._cached_candidate = None
+
+    # ------------------------------------------------------------------
     # Ingress (A)
     # ------------------------------------------------------------------
     def submit(self, request: MemoryRequest) -> None:
@@ -139,6 +171,8 @@ class MemoryController:
         else:
             stats.reads_arrived += 1
             self.ams.on_read_arrival()
+        if self.tenants is not None:
+            self.tenants.on_arrival(request)
         admitted = self.queue.offer(request, now)
         self._window_arrivals += 1
         if self._needs_windows and not self._ticks_armed:
@@ -197,6 +231,7 @@ class MemoryController:
         select = self.selector.select
         notify = self._notify_issue
         may_drop = self.ams.may_drop
+        tenants = self.tenants
         refresh_enabled = channel.refresh_enabled
         best = cached
         while True:
@@ -232,6 +267,8 @@ class MemoryController:
                     self._drop_row(bank.index, request.row)
                 else:
                     channel.issue_activate(bank, request.row, now)
+                    if tenants is not None:
+                        tenants.on_activate(request.tenant_id)
             if notify is not None:
                 notify(kind, bank.index, request)
             best = None  # state changed: the next pass re-selects
@@ -242,6 +279,8 @@ class MemoryController:
             bank, request.is_write, now, rid=request.rid
         )
         self.queue.remove(request, now)
+        if self.tenants is not None:
+            self.tenants.on_served(request)
         if not request.is_write:
             if self.predictor is not None:
                 self.predictor.on_fill(request.addr // self._line_bytes)
@@ -258,6 +297,11 @@ class MemoryController:
         """
         now = self.engine.now
         victims = self.queue.hits_for(bank_idx, row)
+        if self.tenants is not None:
+            # Counts per-tenant drops and enforces the class contract
+            # (a latency/bandwidth tenant's request must never land
+            # here) before any victim is removed from the queue.
+            self.tenants.on_drops(victims)
         for i, victim in enumerate(victims):
             self.queue.remove(victim, now)
             donor = (

@@ -5,12 +5,20 @@ Importing this package registers the built-in policies:
 * candidate selectors — ``frfcfs`` (paper baseline), ``fcfs``,
   ``frfcfs-cap``;
 * activation gates — ``dms`` (paper Section IV-B), ``none``;
-* drop policies — ``ams`` (paper Section IV-C), ``none``.
+* drop policies — ``ams`` (paper Section IV-C), ``none``;
+* multi-tenant arbiters — ``shared-frfcfs``, ``tenant-priority``,
+  ``batch-fair``.
 
 See :mod:`repro.sched.policies.base` for the plugin contracts and
 registration functions.
 """
 
+from repro.sched.policies.arbiters import (
+    BatchFairArbiter,
+    SharedFRFCFSArbiter,
+    TenantArbiter,
+    TenantPriorityArbiter,
+)
 from repro.sched.policies.base import (
     COL_PRIORITY,
     SWITCH_PRIORITY,
@@ -18,11 +26,14 @@ from repro.sched.policies.base import (
     Candidate,
     CandidateSelector,
     DropPolicy,
+    arbiter_names,
     drop_policy_names,
     gate_names,
+    make_arbiter,
     make_drop_policy,
     make_gate,
     make_selector,
+    register_arbiter,
     register_drop_policy,
     register_gate,
     register_selector,
@@ -38,6 +49,7 @@ from repro.sched.policies.selectors import (
 
 __all__ = [
     "ActivationGate",
+    "BatchFairArbiter",
     "COL_PRIORITY",
     "Candidate",
     "CandidateSelector",
@@ -48,11 +60,17 @@ __all__ = [
     "NullDropPolicy",
     "NullGate",
     "SWITCH_PRIORITY",
+    "SharedFRFCFSArbiter",
+    "TenantArbiter",
+    "TenantPriorityArbiter",
+    "arbiter_names",
     "drop_policy_names",
     "gate_names",
+    "make_arbiter",
     "make_drop_policy",
     "make_gate",
     "make_selector",
+    "register_arbiter",
     "register_drop_policy",
     "register_gate",
     "register_selector",

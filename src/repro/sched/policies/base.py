@@ -40,6 +40,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.config.scheduler import AMSConfig, DMSConfig, SchedulerConfig
+    from repro.config.tenants import TenantMixSpec
     from repro.dram.channel import Channel
     from repro.dram.request import MemoryRequest
     from repro.sched.pending_queue import PendingQueue
@@ -227,6 +228,11 @@ class DropPolicy(ABC):
 _SELECTORS: dict[str, type[CandidateSelector]] = {}
 _GATES: dict[str, Callable[["DMSConfig"], ActivationGate]] = {}
 _DROP_POLICIES: dict[str, Callable[["AMSConfig"], DropPolicy]] = {}
+#: Multi-tenant arbiters: selectors constructed with (config, mix) that
+#: share one controller among N tenant streams. The fourth registry,
+#: keyed by ``TenantMixSpec.arbiter`` (``SchedulerConfig.arbiter`` keeps
+#: naming a plain *selector* for single-tenant runs).
+_ARBITERS: dict[str, type[CandidateSelector]] = {}
 
 
 def register_selector(
@@ -304,3 +310,32 @@ def make_drop_policy(name: str, config: "AMSConfig") -> DropPolicy:
 def drop_policy_names() -> list[str]:
     """Sorted names of every registered drop policy."""
     return sorted(_DROP_POLICIES)
+
+
+def register_arbiter(
+    cls: type[CandidateSelector],
+) -> type[CandidateSelector]:
+    """Register a multi-tenant arbiter class under its ``name``."""
+    if not cls.name:
+        raise ConfigError(f"arbiter {cls.__name__} has no name")
+    _ARBITERS[cls.name] = cls
+    return cls
+
+
+def make_arbiter(
+    name: str, config: "SchedulerConfig", mix: "TenantMixSpec"
+) -> CandidateSelector:
+    """Instantiate the registered arbiter ``name`` for one controller."""
+    try:
+        cls = _ARBITERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown arbiter {name!r}; "
+            f"registered: {', '.join(sorted(_ARBITERS))}"
+        ) from None
+    return cls(config, mix)
+
+
+def arbiter_names() -> list[str]:
+    """Sorted names of every registered multi-tenant arbiter."""
+    return sorted(_ARBITERS)

@@ -1,0 +1,104 @@
+"""Per-tenant accounting shared by every memory controller of one run.
+
+One :class:`TenantTracker` is installed across all controllers by
+:meth:`~repro.sim.system.GPUSystem.from_spec` when a multi-tenant mix
+attaches. The controller calls it from three low-frequency points —
+request arrival, column issue, and row drop — each behind an
+``is not None`` guard, so single-tenant runs pay nothing.
+
+The tracker is also the structural enforcement point of the tenant
+drop contract: the trace composer strips the ``approximable``
+annotation from every tenant whose class forbids dropping, so the AMS
+unit can never select their rows — and :meth:`TenantTracker.on_drops`
+re-checks every victim and raises on a violation rather than silently
+miscounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.config.tenants import TenantMixSpec
+from repro.errors import SimulationError
+from repro.sim.report import TenantReport, TenantSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.dram.request import MemoryRequest
+
+
+class TenantTracker:
+    """Per-tenant request counters, indexed by ``tenant_id``."""
+
+    def __init__(self, mix: TenantMixSpec) -> None:
+        n = len(mix.tenants)
+        self.mix = mix
+        self._droppable = tuple(t.approximable for t in mix.tenants)
+        self.reads_arrived = [0] * n
+        self.writes_arrived = [0] * n
+        self.requests_served = [0] * n
+        self.requests_dropped = [0] * n
+        self.activations = [0] * n
+
+    # ------------------------------------------------------------------
+    # Controller hooks (guarded by ``mc.tenants is not None``)
+    # ------------------------------------------------------------------
+    def on_arrival(self, request: "MemoryRequest") -> None:
+        """A request reached a controller (reads and write-backs)."""
+        if request.is_write:
+            self.writes_arrived[request.tenant_id] += 1
+        else:
+            self.reads_arrived[request.tenant_id] += 1
+
+    def on_served(self, request: "MemoryRequest") -> None:
+        """A column command issued for this request."""
+        self.requests_served[request.tenant_id] += 1
+
+    def on_activate(self, tenant_id: int) -> None:
+        """A row activation attributed to the request that opened it."""
+        self.activations[tenant_id] += 1
+
+    def on_drops(self, victims: Sequence["MemoryRequest"]) -> None:
+        """A row's pending requests were dropped (answered by the VP).
+
+        Raises :class:`~repro.errors.SimulationError` when any victim
+        belongs to a tenant whose class forbids approximation — the
+        invariant the composer's annotation stripping guarantees.
+        """
+        droppable = self._droppable
+        dropped = self.requests_dropped
+        for victim in victims:
+            tid = victim.tenant_id
+            if not droppable[tid]:
+                tenant = self.mix.tenants[tid]
+                raise SimulationError(
+                    f"AMS dropped a request of tenant {tenant.name!r} "
+                    f"(class {tenant.tenant_class!r}), which its service "
+                    "contract forbids"
+                )
+            dropped[tid] += 1
+
+    # ------------------------------------------------------------------
+    def summarize(
+        self,
+        *,
+        finish_times: dict[int, float],
+        instructions: dict[int, int],
+    ) -> TenantSummary:
+        """Build the report section from tracker + frontend accounting."""
+        tenants = []
+        for tid, spec in enumerate(self.mix.tenants):
+            tenants.append(
+                TenantReport(
+                    name=spec.name,
+                    tenant_class=spec.tenant_class,
+                    workload=spec.workload,
+                    instructions=instructions.get(tid, 0),
+                    finish_mem_cycles=finish_times.get(tid, 0.0),
+                    reads_arrived=self.reads_arrived[tid],
+                    writes_arrived=self.writes_arrived[tid],
+                    requests_served=self.requests_served[tid],
+                    requests_dropped=self.requests_dropped[tid],
+                    activations=self.activations[tid],
+                )
+            )
+        return TenantSummary(arbiter=self.mix.arbiter, tenants=tenants)

@@ -99,6 +99,40 @@ def job_content_key(
     )
 
 
+def _apply_priority_class(spec_payload: Any, priority: int) -> Any:
+    """Default the tenant class of a raw spec payload from job priority.
+
+    Operates on the *undecoded* JSON body: a decoded
+    :class:`~repro.config.tenants.TenantSpec` defaults ``tenant_class``
+    to ``"bandwidth"``, which would be indistinguishable from an
+    explicit choice. Tenants that name a class keep it; tenants that
+    omit it inherit the class the job's ``priority`` maps to
+    (:func:`~repro.config.tenants.tenant_class_for_priority`), so the
+    HTTP priority queue and the DRAM arbiter honour the same contract.
+    Never mutates the caller's payload.
+    """
+    if not isinstance(spec_payload, dict):
+        return spec_payload
+    mix = spec_payload.get("tenants")
+    if not isinstance(mix, dict):
+        return spec_payload
+    roster = mix.get("tenants")
+    if not isinstance(roster, list) or not any(
+        isinstance(t, dict) and "tenant_class" not in t for t in roster
+    ):
+        return spec_payload
+    from repro.config.tenants import tenant_class_for_priority
+
+    default_class = tenant_class_for_priority(priority)
+    patched = dict(spec_payload)
+    patched["tenants"] = dict(mix)
+    patched["tenants"]["tenants"] = [
+        {"tenant_class": default_class, **t} if isinstance(t, dict) else t
+        for t in roster
+    ]
+    return patched
+
+
 @dataclass
 class Job:
     """One submitted simulation request and its live serving state."""
@@ -185,7 +219,9 @@ class Job:
         priority = payload.get("priority", 0)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ConfigError("job field 'priority' must be an integer")
-        spec = SimSpec.from_dict(payload.get("spec") or {})
+        spec_payload = payload.get("spec") or {}
+        spec_payload = _apply_priority_class(spec_payload, priority)
+        spec = SimSpec.from_dict(spec_payload)
         spec.validate()
         return cls(
             id=job_id or new_job_id(),

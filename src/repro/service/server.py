@@ -508,6 +508,9 @@ class ServiceDaemon:
             seed=job.seed,
             config=spec.config,
             device=spec.device,
+            ecc=spec.ecc,
+            fault_model=spec.faults,
+            tenants=spec.tenants,
             verbose=False,
             jobs=1,
             cache=self.cache if self.cache.enabled else None,

@@ -218,6 +218,7 @@ class WorkerTier:
             ecc=spec.ecc,
             faults=spec.faults,
             record_activations=spec.record_activations,
+            tenants=spec.tenants,
         )
 
     async def execute(self, job: "Job") -> SimReport:

@@ -63,6 +63,114 @@ def _drop_from_dict(data: dict) -> DropRecord:
 
 
 @dataclass
+class TenantReport:
+    """Per-tenant counters of one multi-tenant run.
+
+    The intrinsic fields are filled by the simulation itself (the
+    controller-side :class:`~repro.sched.tenants.TenantTracker` plus
+    the frontend's per-tenant finish/instruction accounting).
+    ``solo_mem_cycles`` / ``slowdown`` stay ``None`` until
+    :func:`repro.harness.tenants.attach_slowdowns` compares the run
+    against the tenant's cached solo baseline — they are presentation
+    data, never part of the cached report.
+    """
+
+    name: str
+    tenant_class: str
+    workload: str
+    instructions: int = 0
+    finish_mem_cycles: float = 0.0
+    reads_arrived: int = 0
+    writes_arrived: int = 0
+    requests_served: int = 0
+    requests_dropped: int = 0
+    activations: int = 0
+    solo_mem_cycles: Optional[float] = None
+    slowdown: Optional[float] = None
+
+    @property
+    def coverage(self) -> float:
+        """This tenant's dropped / arrived reads (per-tenant coverage)."""
+        return (
+            self.requests_dropped / self.reads_arrived
+            if self.reads_arrived else 0.0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (lossless)."""
+        return {
+            "name": self.name,
+            "tenant_class": self.tenant_class,
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "finish_mem_cycles": self.finish_mem_cycles,
+            "reads_arrived": self.reads_arrived,
+            "writes_arrived": self.writes_arrived,
+            "requests_served": self.requests_served,
+            "requests_dropped": self.requests_dropped,
+            "activations": self.activations,
+            "solo_mem_cycles": self.solo_mem_cycles,
+            "slowdown": self.slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class TenantSummary:
+    """The per-tenant section of a multi-tenant :class:`SimReport`."""
+
+    #: Arbiter registry name that shared the controllers.
+    arbiter: str
+    #: One entry per tenant, in roster (``tenant_id``) order.
+    tenants: list[TenantReport] = field(default_factory=list)
+    #: Jain fairness index over per-tenant slowdowns; filled alongside
+    #: :attr:`TenantReport.slowdown` by the harness, never cached.
+    jain_fairness: Optional[float] = None
+
+    def row_energy_shares(self) -> list[float]:
+        """Each tenant's share of row energy (activation-proportional)."""
+        total = sum(t.activations for t in self.tenants)
+        if not total:
+            return [0.0] * len(self.tenants)
+        return [t.activations / total for t in self.tenants]
+
+    def drop_shares(self) -> list[float]:
+        """Each tenant's share of all dropped (approximated) reads."""
+        total = sum(t.requests_dropped for t in self.tenants)
+        if not total:
+            return [0.0] * len(self.tenants)
+        return [t.requests_dropped / total for t in self.tenants]
+
+    def served_shares(self) -> list[float]:
+        """Each tenant's share of DRAM column accesses served."""
+        total = sum(t.requests_served for t in self.tenants)
+        if not total:
+            return [0.0] * len(self.tenants)
+        return [t.requests_served / total for t in self.tenants]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (lossless)."""
+        return {
+            "arbiter": self.arbiter,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "jain_fairness": self.jain_fairness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            arbiter=data["arbiter"],
+            tenants=[TenantReport.from_dict(t) for t in data["tenants"]],
+            jain_fairness=data.get("jain_fairness"),
+        )
+
+
+@dataclass
 class L2Summary:
     """Aggregate L2 statistics across slices."""
 
@@ -127,6 +235,9 @@ class SimReport:
     #: ECC code or the fault injector was active (``None`` keeps the
     #: serialized form — and the seed golden reports — unchanged).
     ecc: Optional[ECCSummary] = None
+    #: Per-tenant counters; present only when a multi-tenant mix ran
+    #: (``None`` keeps single-tenant serialized forms byte-identical).
+    tenants: Optional[TenantSummary] = None
 
     # ------------------------------------------------------------------
     @property
@@ -252,12 +363,15 @@ class SimReport:
             payload["energy"]["ecc_nj"] = self.energy.ecc_nj
         if self.ecc is not None:
             payload["ecc"] = self.ecc.to_dict()
+        if self.tenants is not None:
+            payload["tenants"] = self.tenants.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimReport":
         """Rebuild a report; ``from_dict(r.to_dict()) == r`` holds."""
         ecc_data = data.get("ecc")
+        tenants_data = data.get("tenants")
         return cls(
             workload=data["workload"],
             scheme=data["scheme"],
@@ -278,6 +392,10 @@ class SimReport:
             ecc=(
                 ECCSummary.from_dict(ecc_data)
                 if ecc_data is not None else None
+            ),
+            tenants=(
+                TenantSummary.from_dict(tenants_data)
+                if tenants_data is not None else None
             ),
         )
 
@@ -306,6 +424,24 @@ class SimReport:
                 f"  silent {self.ecc.words_silent}"
                 f"  FIT {self.ecc.fit:.3g}"
             )
+        if self.tenants is not None:
+            lines.append(f"  tenants ({self.tenants.arbiter})")
+            energy_shares = self.tenants.row_energy_shares()
+            for tenant, share in zip(self.tenants.tenants, energy_shares):
+                slow = (
+                    f"  slowdown {tenant.slowdown:.2f}"
+                    if tenant.slowdown is not None else ""
+                )
+                lines.append(
+                    f"    {tenant.name} [{tenant.tenant_class}]"
+                    f"  served {tenant.requests_served}"
+                    f"  drops {tenant.requests_dropped}"
+                    f"  row-energy {share:.1%}{slow}"
+                )
+            if self.tenants.jain_fairness is not None:
+                lines.append(
+                    f"    Jain fairness  {self.tenants.jain_fairness:.3f}"
+                )
         if self.timeline is not None:
             lines.append(
                 f"  telemetry      {len(self.timeline)} windows "

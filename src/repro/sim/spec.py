@@ -28,6 +28,7 @@ from repro.config.codec import decode, decode_optional, encode
 from repro.config.faults import FaultConfig
 from repro.config.gpu import GPUConfig
 from repro.config.scheduler import SchedulerConfig
+from repro.config.tenants import TenantMixSpec
 from repro.errors import ConfigError
 
 
@@ -51,6 +52,8 @@ class SimSpec:
     ecc: str = "none"
     #: Timing-dependent bit-flip fault model (disabled by default).
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Multi-tenant mix; ``None`` is the plain single-workload path.
+    tenants: Optional[TenantMixSpec] = None
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -66,6 +69,8 @@ class SimSpec:
 
         get_ecc(self.ecc)  # raises ConfigError when unknown
         self.faults.validate()
+        if self.tenants is not None:
+            self.tenants.validate()
 
     def resolve_config(self) -> GPUConfig:
         """The concrete :class:`GPUConfig` this spec simulates on."""
@@ -78,8 +83,14 @@ class SimSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Canonical JSON-ready form (round-trips via :meth:`from_dict`)."""
-        return {
+        """Canonical JSON-ready form (round-trips via :meth:`from_dict`).
+
+        The ``tenants`` key is emitted only when a mix is present:
+        single-tenant payloads (and therefore their v4 cache keys and
+        the :meth:`content_seed` that anchors fault-injection sites)
+        stay byte-identical to the pre-tenant format.
+        """
+        payload = {
             "scheduler": encode(self.scheduler),
             "device": self.device,
             "config": encode(self.config) if self.config is not None else None,
@@ -89,6 +100,9 @@ class SimSpec:
             "ecc": self.ecc,
             "faults": encode(self.faults),
         }
+        if self.tenants is not None:
+            payload["tenants"] = encode(self.tenants)
+        return payload
 
     def content_seed(self) -> int:
         """Deterministic 64-bit seed derived from the spec content.
@@ -113,7 +127,7 @@ class SimSpec:
             )
         known = {
             "scheduler", "device", "config", "measure_error",
-            "record_activations", "telemetry", "ecc", "faults",
+            "record_activations", "telemetry", "ecc", "faults", "tenants",
         }
         unknown = set(data) - known
         if unknown:
@@ -138,5 +152,8 @@ class SimSpec:
                 decode(FaultConfig, data["faults"], path="faults")
                 if data.get("faults") is not None
                 else FaultConfig()
+            ),
+            tenants=decode_optional(
+                TenantMixSpec, data.get("tenants"), path="tenants"
             ),
         )

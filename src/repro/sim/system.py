@@ -92,6 +92,9 @@ class GPUSystem:
             self.config.l2.hit_latency_core
         )
         self.frontend: Optional[GPUFrontend] = None
+        #: Shared per-tenant accounting; installed by
+        #: :meth:`_attach_tenants` for multi-tenant specs only.
+        self.tenant_tracker = None
         self.engine.diagnostics = self._deadlock_snapshot
 
     @classmethod
@@ -117,6 +120,7 @@ class GPUSystem:
             telemetry=telemetry,
         )
         system._attach_ecc(spec)
+        system._attach_tenants(spec)
         return system
 
     def _attach_ecc(self, spec: SimSpec) -> None:
@@ -166,6 +170,23 @@ class GPUSystem:
                     injector=injector,
                 )
             )
+
+    def _attach_tenants(self, spec: SimSpec) -> None:
+        """Install per-tenant accounting and the mix's arbiter.
+
+        Strictly a no-op unless the spec carries a *multi*-tenant mix:
+        a single-tenant mix is pure composition sugar and must simulate
+        field-identically to the plain single-workload run, so nothing
+        attaches for it (the differential tests pin this).
+        """
+        if spec.tenants is None or not spec.tenants.multi:
+            return
+        from repro.sched.tenants import TenantTracker
+
+        tracker = TenantTracker(spec.tenants)
+        self.tenant_tracker = tracker
+        for mc in self.controllers:
+            mc.attach_tenants(tracker, spec.tenants)
 
     def _deadlock_snapshot(self) -> str:
         """Per-controller queue state for the engine's livelock error.
@@ -230,6 +251,7 @@ class GPUSystem:
                 # merged store data would be lost (DESIGN.md §5).
                 approximable=access.approximable and not access.is_write,
                 tag=access.tag,
+                tenant_id=warp.tenant_id,
             )
             self.engine.after(
                 self._l2_latency_mem,
@@ -292,10 +314,18 @@ class GPUSystem:
         *,
         workload_name: str = "custom",
         max_events: int = 200_000_000,
+        stream_tenants: Optional[Sequence[int]] = None,
     ) -> SimReport:
-        """Execute the warp streams to completion and build the report."""
+        """Execute the warp streams to completion and build the report.
+
+        ``stream_tenants`` (one ``tenant_id`` per stream, from the
+        :class:`~repro.workloads.tenant_mix.TenantMix` composer) turns
+        on per-tenant warp attribution and the report's per-tenant
+        section; ``None`` is the single-tenant path.
+        """
         self.frontend = GPUFrontend(
-            self.engine, self.config, warp_streams, self._mem_access
+            self.engine, self.config, warp_streams, self._mem_access,
+            stream_tenants=stream_tenants,
         )
         sampler: Optional[WindowSeries] = None
         if self.telemetry.enabled:
@@ -367,6 +397,12 @@ class GPUSystem:
         timeline = (
             sampler.finalize(elapsed_mem) if sampler is not None else None
         )
+        tenants_summary = None
+        if self.tenant_tracker is not None:
+            tenants_summary = self.tenant_tracker.summarize(
+                finish_times=self.frontend.tenant_finish_time,
+                instructions=self.frontend.tenant_instructions(),
+            )
         return SimReport(
             workload=workload_name,
             scheme=self.scheduler.name,
@@ -382,6 +418,7 @@ class GPUSystem:
             final_th_rbls=[mc.ams.th_rbl for mc in self.controllers],
             timeline=timeline,
             ecc=ecc_summary,
+            tenants=tenants_summary,
         )
 
 
@@ -399,10 +436,27 @@ def simulate_spec(
     ``report.application_error`` is filled in. With a telemetry hub
     (``spec.telemetry`` or an explicit ``telemetry=``),
     ``report.timeline`` carries the per-window series.
+
+    When ``spec.tenants`` names a mix, ``workload`` supplies only the
+    run-level scale and seed: the simulated trace is the
+    :class:`~repro.workloads.tenant_mix.TenantMix` composed from the
+    mix's own workload roster (pass a ready-made ``TenantMix`` to skip
+    the re-composition).
     """
     system = GPUSystem.from_spec(spec, telemetry=telemetry)
+    if spec.tenants is not None:
+        from repro.workloads.tenant_mix import TenantMix
+
+        if not isinstance(workload, TenantMix):
+            workload = TenantMix(
+                spec.tenants, scale=workload.scale, seed=workload.seed
+            )
     streams = workload.warp_streams(system.config)
-    report = system.run(streams, workload_name=workload.name)
+    report = system.run(
+        streams,
+        workload_name=workload.name,
+        stream_tenants=getattr(workload, "stream_tenants", None),
+    )
     if spec.measure_error:
         from repro.approx.replay import measure_application_error
 

@@ -117,6 +117,12 @@ class MetricsHub:
         #: reader in another thread (the service's SSE streamer) can
         #: snapshot it mid-run without locking.
         self.live_samples: Optional[list] = None
+        #: Named append-only numeric series (one value per window),
+        #: e.g. the per-tenant ``tenant.<name>.served`` timelines. Kept
+        #: outside :class:`~repro.telemetry.series.WindowSample` — whose
+        #: serialized key set is pinned — so new series never perturb
+        #: existing timelines.
+        self.series: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
     def inc(self, name: str, value: float = 1.0) -> None:
@@ -130,6 +136,13 @@ class MetricsHub:
     def counter(self, name: str) -> float:
         """Current value of a counter (zero when never incremented)."""
         return self.counters.get(name, 0.0)
+
+    def append_series(self, name: str, value: float) -> None:
+        """Append one sample to the named series (created empty)."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = []
+        series.append(value)
 
     def snapshot(self) -> dict:
         """All counters and gauges, sorted by name (for logs/tests)."""
@@ -151,11 +164,15 @@ class NullHub:
     window_cycles = 0
     timeline = None
     live_samples = None
+    series: dict[str, list] = {}
 
     def inc(self, name: str, value: float = 1.0) -> None:
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def append_series(self, name: str, value: float) -> None:
         pass
 
     def counter(self, name: str) -> float:

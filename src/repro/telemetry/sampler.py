@@ -56,6 +56,16 @@ class WindowSeries:
         self._prev_events = 0
         self._prev_drop_log = [0] * len(system.controllers)
         self._prev_donors = 0
+        # Per-tenant cumulative snapshots (multi-tenant runs only).
+        tracker = system.tenant_tracker
+        self._prev_tenant_served = (
+            [0] * len(tracker.requests_served)
+            if tracker is not None else []
+        )
+        self._prev_tenant_drops = (
+            [0] * len(tracker.requests_dropped)
+            if tracker is not None else []
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -161,3 +171,21 @@ class WindowSeries:
         hub.gauge("window.queue_depth", float(sample.queue_depth))
         hub.gauge("window.coverage", coverage)
         hub.inc("window.samples")
+        # Per-tenant timelines ride as hub series, not WindowSample
+        # fields — the sample's serialized key set is pinned.
+        tracker = system.tenant_tracker
+        if tracker is not None:
+            names = [t.name for t in tracker.mix.tenants]
+            for tid, name in enumerate(names):
+                served_now = tracker.requests_served[tid]
+                drops_now = tracker.requests_dropped[tid]
+                hub.append_series(
+                    f"tenant.{name}.served",
+                    float(served_now - self._prev_tenant_served[tid]),
+                )
+                hub.append_series(
+                    f"tenant.{name}.drops",
+                    float(drops_now - self._prev_tenant_drops[tid]),
+                )
+                self._prev_tenant_served[tid] = served_now
+                self._prev_tenant_drops[tid] = drops_now

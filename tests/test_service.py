@@ -301,6 +301,62 @@ def test_replay_journal_tolerates_torn_tail(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Multi-tenant jobs: priority maps to the tenant service contract.
+
+
+def test_priority_sets_tenant_contract_end_to_end(tmp_path):
+    """A job's HTTP ``priority`` becomes the default tenant class, and
+    the simulated mix honours the resulting contract: the same
+    class-less two-tenant payload yields AMS drops as a background
+    (``approx-batch``) job but none as a high-priority (``latency``)
+    one, and an explicit class always survives the defaulting."""
+    daemon = _daemon(tmp_path)
+    daemon.start_in_thread()
+    try:
+        client = ServiceClient(port=daemon.port)
+        from repro.config.codec import encode
+
+        scheme = scheme_def("static-dms+static-ams").build()
+        spec_doc = {
+            "scheduler": encode(scheme),
+            "tenants": {
+                "arbiter": "shared-frfcfs",
+                "tenants": [
+                    {"name": "a", "workload": "blackscholes",
+                     "scale": SCALE},
+                    {"name": "b", "workload": "MVT", "scale": SCALE,
+                     "tenant_class": "approx-batch"},
+                ],
+            },
+        }
+
+        def run(priority: int) -> dict:
+            job = client.submit(
+                "blackscholes", spec=spec_doc, seed=11,
+                priority=priority,
+            )
+            doc = client.wait(job["id"], timeout=WAIT)
+            assert doc["state"] == "done", doc.get("error")
+            return doc["result"]
+
+        background = run(priority=0)
+        foreground = run(priority=2)
+
+        bg = {t["name"]: t for t in background["tenants"]["tenants"]}
+        fg = {t["name"]: t for t in foreground["tenants"]["tenants"]}
+        # priority 0 -> both default to approx-batch, drops allowed.
+        assert bg["a"]["tenant_class"] == "approx-batch"
+        assert sum(t["requests_dropped"] for t in bg.values()) > 0
+        # priority 2 -> class-less tenant becomes latency: no drops in
+        # its stream; the explicit approx-batch choice is preserved.
+        assert fg["a"]["tenant_class"] == "latency"
+        assert fg["a"]["requests_dropped"] == 0
+        assert fg["b"]["tenant_class"] == "approx-batch"
+    finally:
+        daemon.stop()
+
+
+# ----------------------------------------------------------------------
 # Queue unit behaviour (no HTTP, no simulations).
 
 

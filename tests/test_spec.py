@@ -18,6 +18,7 @@ from repro.config.scheduler import (
     DMSMode,
     SchedulerConfig,
 )
+from repro.config.tenants import TenantMixSpec, TenantSpec
 from repro.errors import ConfigError
 from repro.harness.cache import CACHE_FORMAT_VERSION, ResultCache, cache_key
 from repro.sim.report import SimReport
@@ -42,6 +43,16 @@ def fancy_spec() -> SimSpec:
         telemetry=True,
         ecc="secded",
         faults=FaultConfig(enabled=True, p_bit=1e-6, scale=2.0),
+        tenants=TenantMixSpec(
+            tenants=(
+                TenantSpec(name="fg", workload="MVT",
+                           tenant_class="latency"),
+                TenantSpec(name="bg", workload="ATAX",
+                           tenant_class="approx-batch", scale=0.5,
+                           seed=3),
+            ),
+            arbiter="batch-fair",
+        ),
     )
 
 
@@ -80,6 +91,31 @@ random_specs = st.builds(
         p_bit=st.floats(min_value=0.0, max_value=1e-3),
         scale=st.floats(min_value=0.0, max_value=8.0),
         sensitivity=st.floats(min_value=0.0, max_value=2.0),
+    ),
+    tenants=st.one_of(
+        st.none(),
+        st.builds(
+            TenantMixSpec,
+            tenants=st.lists(
+                st.builds(
+                    TenantSpec,
+                    name=st.uuids().map(lambda u: f"t{u.hex[:6]}"),
+                    workload=st.sampled_from(["MVT", "ATAX", "SCP"]),
+                    tenant_class=st.sampled_from(
+                        ["latency", "bandwidth", "approx-batch"]
+                    ),
+                    scale=st.floats(min_value=0.25, max_value=2.0),
+                    seed=st.one_of(
+                        st.none(), st.integers(min_value=0, max_value=99)
+                    ),
+                ),
+                min_size=1, max_size=3,
+                unique_by=lambda t: t.name,
+            ).map(tuple),
+            arbiter=st.sampled_from(
+                ["shared-frfcfs", "tenant-priority", "batch-fair"]
+            ),
+        ),
     ),
 )
 
@@ -179,6 +215,7 @@ class TestSpecProperties:
             "telemetry": False,
             "ecc": "bch",
             "faults": FaultConfig(),
+            "tenants": None,
         }
         assert set(alternates) == {
             f.name for f in dataclasses.fields(SimSpec)
@@ -221,6 +258,39 @@ class TestCacheV4:
         ) != self.base_key(
             scheduler=SchedulerConfig(arbiter="frfcfs-cap", hit_streak_cap=4)
         )
+
+    def test_tenant_mix_is_part_of_the_key(self) -> None:
+        # The whole tenants section reaches the key: roster, per-tenant
+        # class/scale, and the arbiter each perturb it independently.
+        mix = TenantMixSpec(
+            tenants=(
+                TenantSpec(name="a", workload="MVT",
+                           tenant_class="latency"),
+                TenantSpec(name="b", workload="ATAX",
+                           tenant_class="approx-batch"),
+            ),
+        )
+        with_mix = self.base_key(spec=SimSpec(tenants=mix))
+        assert with_mix != self.base_key(spec=SimSpec())
+        reclassed = dataclasses.replace(
+            mix,
+            tenants=(
+                mix.tenants[0],
+                dataclasses.replace(mix.tenants[1],
+                                    tenant_class="bandwidth"),
+            ),
+        )
+        assert with_mix != self.base_key(spec=SimSpec(tenants=reclassed))
+        rearbited = dataclasses.replace(mix, arbiter="batch-fair")
+        assert with_mix != self.base_key(spec=SimSpec(tenants=rearbited))
+        rescaled = dataclasses.replace(
+            mix,
+            tenants=(
+                dataclasses.replace(mix.tenants[0], scale=0.5),
+                mix.tenants[1],
+            ),
+        )
+        assert with_mix != self.base_key(spec=SimSpec(tenants=rescaled))
 
     def test_old_format_version_key_differs(self) -> None:
         assert self.base_key() != self.base_key(
