@@ -1,0 +1,213 @@
+"""Warehouse analytics throughput: ingest rows/s and warm query latency.
+
+The warehouse sits between every sweep and every report, so two numbers
+bound how it feels in practice:
+
+* **ingest** — walking the content-addressed cache and flattening each
+  blob into sqlite (JSON decode + report rehydration + upsert).  This
+  is the cost of ``repro-harness report ingest`` after a big sweep, so
+  it is measured in rows/s over a cache of real report blobs.
+* **warm query** — filtered ``rows()`` reads and one full
+  ``ExperimentResults.summary()`` (bootstrap CIs and seed-paired
+  savings included) against the already-built file.  This is what the
+  service's ``GET /v1/experiments`` endpoints pay per request.
+
+One real simulation seeds the report; the cache is then fanned out to
+``--rows`` entries with distinct synthetic meta sidecars (seed/scheme
+varied), so ingest scales without simulating hundreds of cells —
+flattening cost is per-blob, not per-simulated-cycle.  Each run
+*appends* one entry to a history file::
+
+    PYTHONPATH=src python benchmarks/bench_report.py --rows 200
+    # -> BENCH_report.json {"history": [{rows: 200, ingest_rps: ...}]}
+
+Run under pytest it doubles as a smoke test (few rows, no JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import math
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analytics.results import ExperimentResults
+from repro.analytics.warehouse import Warehouse
+from repro.harness.cache import ResultCache
+from repro.harness.runner import Runner
+from repro.harness.schemes import evaluation_schemes
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = _REPO_ROOT / "BENCH_report.json"
+
+APP = "SCP"
+DEFAULT_SCALE = 0.05
+DEFAULT_ROWS = 200
+QUERY_REPEATS = 50
+
+
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    """The q-quantile of a latency sample, in milliseconds."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index] * 1000.0
+
+
+def build_cache(root: Path, *, rows: int, scale: float) -> ResultCache:
+    """A cache of ``rows`` blobs fanned out from one real simulation.
+
+    The report payload is real (so flattening exercises every field);
+    the meta sidecars vary seed and the keys are synthetic, which is
+    all ingest looks at for grouping.
+    """
+    cache = ResultCache(root, enabled=True)
+    runner = Runner(scale=scale, seed=7, cache=None, verbose=False)
+    try:
+        scheme = evaluation_schemes()["Static-AMS"]
+        report = runner.run(APP, scheme, measure_error=True)
+    finally:
+        runner.close()
+    spec_doc = {"device": "gddr5", "ecc": "none"}
+    for i in range(rows):
+        cache.store(
+            f"bench{i:08d}",
+            report,
+            meta={
+                "app": APP,
+                "scale": scale,
+                "seed": i,
+                "spec": spec_doc,
+            },
+        )
+    return cache
+
+
+def measure_ingest(cache: ResultCache, db: Path) -> dict:
+    """One cold ingest of the whole cache, plus a no-op re-ingest."""
+    with Warehouse(db) as warehouse:
+        start = time.perf_counter()
+        count = warehouse.ingest_cache(cache)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        warehouse.ingest_cache(cache)
+        warm = time.perf_counter() - start
+    return {
+        "rows": count,
+        "cold_seconds": cold,
+        "rps": count / cold if cold > 0 else 0.0,
+        "reingest_seconds": warm,
+    }
+
+
+def measure_queries(db: Path, *, repeats: int) -> dict:
+    """Warm filtered reads and one full summary against a built file."""
+    with Warehouse(db) as warehouse:
+        latencies = []
+        for i in range(repeats):
+            start = time.perf_counter()
+            rows = warehouse.rows(seed=i % 8)
+            latencies.append(time.perf_counter() - start)
+            assert rows, "filtered query returned nothing"
+        start = time.perf_counter()
+        summary = ExperimentResults(warehouse).summary()
+        summary_seconds = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "summary_ms": summary_seconds * 1000.0,
+        "summary_groups": summary["n_groups"],
+    }
+
+
+def run_benchmark(*, rows: int, scale: float, repeats: int) -> dict:
+    """One history entry: build, ingest, query."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-report-") as tmp:
+        root = Path(tmp)
+        cache = build_cache(root / "cache", rows=rows, scale=scale)
+        ingest = measure_ingest(cache, root / "wh.sqlite")
+        queries = measure_queries(root / "wh.sqlite", repeats=repeats)
+    return {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "app": APP,
+        "scale": scale,
+        "ingest": ingest,
+        "queries": queries,
+        # Flat aliases the EXPERIMENTS recipes and CI smoke read.
+        "rows": ingest["rows"],
+        "ingest_rps": ingest["rps"],
+        "query_p99_ms": queries["p99_ms"],
+        "summary_ms": queries["summary_ms"],
+    }
+
+
+def append_history(out: Path, entry: dict) -> dict:
+    """Append ``entry`` to the benchmark history file (creating it)."""
+    doc = {"benchmark": "report", "history": []}
+    if out.exists():
+        try:
+            previous = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+        if isinstance(previous.get("history"), list):
+            doc["history"] = previous["history"]
+    doc["history"].append(entry)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--rows", type=int, default=DEFAULT_ROWS,
+        help=f"cache blobs to fan out and ingest (default {DEFAULT_ROWS})",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help=f"simulated fraction of the seed cell (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=QUERY_REPEATS,
+        help=f"warm filtered queries to time (default {QUERY_REPEATS})",
+    )
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    entry = run_benchmark(
+        rows=args.rows, scale=args.scale, repeats=args.repeats
+    )
+    print(
+        f"rows={entry['rows']}: ingest {entry['ingest_rps']:.0f} rows/s "
+        f"(re-ingest {entry['ingest']['reingest_seconds']:.2f} s), "
+        f"query p99 {entry['query_p99_ms']:.2f} ms, "
+        f"summary {entry['summary_ms']:.0f} ms "
+        f"over {entry['queries']['summary_groups']} group(s)"
+    )
+    append_history(Path(args.out), entry)
+    print(f"appended to {args.out}")
+    return 0
+
+
+def test_report_bench_smoke(tmp_path):
+    """Pytest entry: a few rows end to end, real ingest and queries."""
+    entry = run_benchmark(rows=16, scale=0.05, repeats=8)
+    assert entry["rows"] == 16
+    assert entry["ingest_rps"] > 0
+    assert entry["query_p99_ms"] >= 0
+    assert entry["queries"]["summary_groups"] >= 1
+    doc = append_history(tmp_path / "bench.json", entry)
+    assert len(doc["history"]) == 1
+    doc = append_history(tmp_path / "bench.json", entry)
+    assert len(doc["history"]) == 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

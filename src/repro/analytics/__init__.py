@@ -1,0 +1,40 @@
+"""Experiment results warehouse: ingest, statistics, reports, gates.
+
+The analytics subsystem turns a sweep's scattered outputs — cached
+:class:`~repro.sim.report.SimReport` blobs, failure manifests, bench
+histories — into one queryable sqlite store
+(:class:`~repro.analytics.warehouse.Warehouse`), an aggregate facade
+with seed statistics
+(:class:`~repro.analytics.results.ExperimentResults`), templated
+markdown/HTML reports (:mod:`repro.analytics.report`), and a
+snapshot-pinned regression gate. The ``repro-harness report``
+subcommand and the service's ``/v1/experiments`` endpoints are thin
+shells over these four pieces.
+"""
+
+from repro.analytics.results import (
+    ExperimentResults,
+    Regression,
+    load_snapshot,
+)
+from repro.analytics.stats import (
+    BootstrapCI,
+    MannWhitneyResult,
+    bootstrap_ci,
+    holm_adjust,
+    mann_whitney_u,
+)
+from repro.analytics.warehouse import Warehouse, ingest_sources
+
+__all__ = [
+    "BootstrapCI",
+    "ExperimentResults",
+    "MannWhitneyResult",
+    "Regression",
+    "Warehouse",
+    "bootstrap_ci",
+    "holm_adjust",
+    "ingest_sources",
+    "load_snapshot",
+    "mann_whitney_u",
+]

@@ -1,0 +1,233 @@
+"""Templated sweep reports: markdown and self-contained HTML.
+
+Both renderers consume the :meth:`ExperimentResults.summary` document —
+never the warehouse directly — so anything a report shows is also what
+``GET /v1/experiments/summary`` serves. Templates are stdlib
+:class:`string.Template` (no templating dependency), and the HTML is a
+single self-contained file (inline CSS, no scripts, no external
+fetches) so CI can attach it as an artifact and it renders anywhere.
+
+The table layout mirrors the paper's aggregate figures: one table per
+app, schemes as rows, and the headline columns — row-energy savings vs
+baseline, application error, FIT, IPC — each as ``mean [low, high]``
+bootstrap intervals across seeds.
+"""
+
+from __future__ import annotations
+
+from string import Template
+from typing import Optional
+
+_MD_HEADER = Template(
+    """# Sweep report
+
+- experiments: **$n_experiments** across **$n_groups** groups\
+ (baseline scheme: `$baseline`)
+- intervals: **$confidence_pct% bootstrap CIs** across seeds\
+ ($resamples resamples)
+- ingested failures: $n_failures
+"""
+)
+
+_MD_TABLE_HEADER = Template(
+    """
+## $app
+
+| scheme | device | ecc | seeds | row-energy savings | app error | FIT | IPC |
+|---|---|---|---|---|---|---|---|
+"""
+)
+
+_MD_ROW = Template(
+    "| $scheme | $device | $ecc | $n "
+    "| $savings | $app_error | $fit | $ipc |\n"
+)
+
+_HTML_PAGE = Template(
+    """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Sweep report</title>
+<style>
+  body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+         margin: 2rem auto; max-width: 72rem; color: #1c2330; }
+  h1 { border-bottom: 2px solid #2b6cb0; padding-bottom: .3rem; }
+  h2 { margin-top: 2rem; color: #2b6cb0; }
+  table { border-collapse: collapse; width: 100%; margin: .75rem 0; }
+  th, td { border: 1px solid #d4dae3; padding: .35rem .6rem;
+           text-align: right; font-variant-numeric: tabular-nums; }
+  th { background: #eef2f7; }
+  td:first-child, th:first-child { text-align: left; }
+  .meta { color: #5a6472; font-size: .9rem; }
+  .ci { color: #5a6472; font-size: .85em; }
+  .good { color: #1a7f37; } .bad { color: #b42318; }
+  .na { color: #9aa3af; }
+</style>
+</head>
+<body>
+<h1>Sweep report</h1>
+<p class="meta">$n_experiments experiments / $n_groups groups
+&middot; baseline scheme <code>$baseline</code>
+&middot; $confidence_pct% bootstrap CIs across seeds
+($resamples resamples)
+&middot; $n_failures ingested failures</p>
+$tenants
+$tables
+</body>
+</html>
+"""
+)
+
+_HTML_TABLE = Template(
+    """<h2>$app</h2>
+<table>
+<tr><th>scheme</th><th>device</th><th>ecc</th><th>seeds</th>
+<th>row-energy savings</th><th>app error</th><th>FIT</th><th>IPC</th></tr>
+$rows</table>
+"""
+)
+
+_HTML_ROW = Template(
+    "<tr><td>$scheme</td><td>$device</td><td>$ecc</td><td>$n</td>"
+    "<td>$savings</td><td>$app_error</td><td>$fit</td><td>$ipc</td></tr>\n"
+)
+
+_HTML_TENANTS = Template(
+    """<h2>Multi-tenant fairness</h2>
+<p class="meta">$n_rows tenant rows &middot; Jain fairness $jain</p>
+$classes
+"""
+)
+
+
+def _fmt(value: Optional[float], *, pct: bool = False, digits: int = 3) -> str:
+    if value is None:
+        return "&mdash;"
+    if pct:
+        return f"{value * 100:.1f}%"
+    return f"{value:.{digits}g}"
+
+
+def _fmt_ci(ci: Optional[dict], *, pct: bool = False, digits: int = 3) -> str:
+    """``mean [low, high]`` or an em-dash when the metric is absent."""
+    if ci is None:
+        return "&mdash;"
+    m = _fmt(ci["mean"], pct=pct, digits=digits)
+    lo = _fmt(ci["low"], pct=pct, digits=digits)
+    hi = _fmt(ci["high"], pct=pct, digits=digits)
+    return f"{m} [{lo}, {hi}]"
+
+
+def _group_cells(group: dict) -> dict:
+    metrics = group.get("metrics", {})
+    return {
+        "scheme": group["scheme"],
+        "device": group.get("device") or "&mdash;",
+        "ecc": group.get("ecc") or "&mdash;",
+        "n": group["n"],
+        "savings": _fmt_ci(group.get("row_energy_savings"), pct=True),
+        "app_error": _fmt_ci(metrics.get("app_error"), pct=True),
+        "fit": _fmt_ci(metrics.get("fit")),
+        "ipc": _fmt_ci(metrics.get("ipc")),
+    }
+
+
+def _by_app(summary: dict) -> dict[str, list[dict]]:
+    apps: dict[str, list[dict]] = {}
+    for group in summary.get("groups", []):
+        apps.setdefault(group["app"], []).append(group)
+    return apps  # summary groups are already deterministically sorted
+
+
+def _header_fields(summary: dict) -> dict:
+    return {
+        "n_experiments": summary.get("n_experiments", 0),
+        "n_groups": summary.get("n_groups", 0),
+        "n_failures": summary.get("n_failures", 0),
+        "baseline": summary.get("baseline_scheme", "Baseline"),
+        "confidence_pct": (
+            f"{summary.get('confidence', 0.95) * 100:g}"
+        ),
+        "resamples": summary.get("resamples", 0),
+    }
+
+
+def render_markdown(summary: dict) -> str:
+    """Render the summary document as GitHub-flavored markdown."""
+    parts = [_MD_HEADER.substitute(_header_fields(summary))]
+    for app, groups in _by_app(summary).items():
+        parts.append(_MD_TABLE_HEADER.substitute(app=app))
+        for group in groups:
+            cells = _group_cells(group)
+            # Markdown gets plain dashes, not HTML entities.
+            cells = {
+                k: (str(v).replace("&mdash;", "—") if isinstance(v, str)
+                    else v)
+                for k, v in cells.items()
+            }
+            parts.append(_MD_ROW.substitute(cells))
+    tenants = summary.get("tenants", {})
+    if tenants.get("n_rows"):
+        parts.append("\n## Multi-tenant fairness\n\n")
+        jain = _fmt_ci(tenants.get("jain_fairness")).replace("&mdash;", "—")
+        parts.append(
+            f"- tenant rows: {tenants['n_rows']}\n"
+            f"- Jain fairness: {jain}\n"
+        )
+        for cls, ci in tenants.get("by_class", {}).items():
+            slow = _fmt_ci(ci).replace("&mdash;", "—")
+            parts.append(f"- `{cls}` slowdown: {slow}\n")
+    return "".join(parts)
+
+
+def render_html(summary: dict) -> str:
+    """Render the summary document as one self-contained HTML page."""
+    tables = []
+    for app, groups in _by_app(summary).items():
+        rows = "".join(
+            _HTML_ROW.substitute(_group_cells(group)) for group in groups
+        )
+        tables.append(_HTML_TABLE.substitute(app=app, rows=rows))
+    tenants = summary.get("tenants", {})
+    tenants_html = ""
+    if tenants.get("n_rows"):
+        classes = "".join(
+            f"<p class=\"meta\"><code>{cls}</code> slowdown "
+            f"{_fmt_ci(ci)}</p>\n"
+            for cls, ci in tenants.get("by_class", {}).items()
+        )
+        tenants_html = _HTML_TENANTS.substitute(
+            n_rows=tenants["n_rows"],
+            jain=_fmt_ci(tenants.get("jain_fairness")),
+            classes=classes,
+        )
+    return _HTML_PAGE.substitute(
+        tables="".join(tables),
+        tenants=tenants_html,
+        **_header_fields(summary),
+    )
+
+
+def render_diff_markdown(regressions: list[dict]) -> str:
+    """Human-readable verdict block for ``report diff``."""
+    if not regressions:
+        return "No significant regressions against the baseline.\n"
+    lines = [
+        f"{len(regressions)} significant regression(s) against the"
+        " baseline:\n\n",
+        "| app | scheme | device | ecc | metric | baseline | current"
+        " | delta | p | method |\n",
+        "|---|---|---|---|---|---|---|---|---|---|\n",
+    ]
+    for reg in regressions:
+        p = "—" if reg["p_value"] is None else f"{reg['p_value']:.3g}"
+        lines.append(
+            f"| {reg['app']} | {reg['scheme']}"
+            f" | {reg['device'] or '—'} | {reg['ecc'] or '—'}"
+            f" | {reg['metric']} | {reg['baseline_mean']:.4g}"
+            f" | {reg['current_mean']:.4g}"
+            f" | {reg['rel_delta'] * 100:+.1f}% | {p}"
+            f" | {reg['method']} |\n"
+        )
+    return "".join(lines)

@@ -29,6 +29,7 @@ from repro.config.timing import (
     hbm1_timings,
     hbm2_timings,
 )
+from repro.config.warehouse import WarehouseSpec
 
 __all__ = [
     "AMSConfig",
@@ -43,6 +44,7 @@ __all__ = [
     "L2Config",
     "SchedulerConfig",
     "VPConfig",
+    "WarehouseSpec",
     "baseline_config",
     "baseline_scheduler",
     "dyn_ams",

@@ -1,0 +1,82 @@
+"""Results-warehouse configuration (the analytics layer's knobs).
+
+:class:`WarehouseSpec` pins every statistics and gating parameter the
+analytics subsystem (:mod:`repro.analytics`) consumes — the sqlite
+path, the baseline scheme savings are computed against, the bootstrap
+settings behind every confidence interval, and the regression-gate
+thresholds. It is a frozen dataclass round-trippable through the
+generic config codec (:mod:`repro.config.codec`), so a pinned analysis
+configuration can live in JSON next to the snapshot it gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Metrics the regression gate tests by default (paper headline four).
+DEFAULT_GATE_METRICS = ("row_energy_nj", "app_error", "fit", "ipc")
+
+
+@dataclass(frozen=True, slots=True)
+class WarehouseSpec:
+    """Analytics settings: store location, statistics, gate thresholds."""
+
+    #: Sqlite file; None defers to ``$REPRO_WAREHOUSE`` / the default.
+    db_path: str | None = None
+    #: Cache directory ingest walks; None defers to the cache default.
+    cache_dir: str | None = None
+    #: Scheme label row-energy savings are computed against.
+    baseline_scheme: str = "Baseline"
+    #: Bootstrap CI confidence level.
+    confidence: float = 0.95
+    #: Bootstrap resample count.
+    resamples: int = 1000
+    #: Significance level of the regression gate (Holm-adjusted).
+    alpha: float = 0.05
+    #: Minimum worse-direction relative mean delta to flag at all.
+    min_effect: float = 0.01
+    #: Seeds per side required before the Mann–Whitney test applies;
+    #: below it the gate is effect-size-only ("delta-only").
+    min_samples: int = 4
+    #: Metrics the gate tests.
+    metrics: tuple[str, ...] = DEFAULT_GATE_METRICS
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on an unusable configuration."""
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError(
+                "warehouse.confidence must be in (0, 1), got "
+                f"{self.confidence}"
+            )
+        if self.resamples < 1:
+            raise ConfigError(
+                f"warehouse.resamples must be >= 1, got {self.resamples}"
+            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(
+                f"warehouse.alpha must be in (0, 1), got {self.alpha}"
+            )
+        if self.min_effect < 0.0:
+            raise ConfigError(
+                "warehouse.min_effect must be >= 0, got "
+                f"{self.min_effect}"
+            )
+        if self.min_samples < 1:
+            raise ConfigError(
+                "warehouse.min_samples must be >= 1, got "
+                f"{self.min_samples}"
+            )
+        if not self.metrics:
+            raise ConfigError("warehouse.metrics must not be empty")
+        from repro.analytics.results import METRIC_DIRECTIONS
+
+        for metric in self.metrics:
+            if metric not in METRIC_DIRECTIONS:
+                raise ConfigError(
+                    f"warehouse.metrics: unknown metric {metric!r} "
+                    f"(known: {sorted(METRIC_DIRECTIONS)})"
+                )
+        if not self.baseline_scheme:
+            raise ConfigError("warehouse.baseline_scheme must be set")

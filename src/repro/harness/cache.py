@@ -233,11 +233,24 @@ class ResultCache:
         self.hits += 1
         return report
 
-    def store(self, key: str, report: SimReport) -> Optional[Path]:
+    def store(
+        self,
+        key: str,
+        report: SimReport,
+        *,
+        meta: Optional[dict] = None,
+    ) -> Optional[Path]:
         """Persist ``report`` under ``key``; returns the blob path.
 
         The blob is written to a temp file and atomically renamed so a
         concurrent reader never sees a torn write.
+
+        ``meta`` is an optional JSON-serializable sidecar recorded next
+        to the report (``{"app", "scale", "seed", "spec"}`` from the
+        runner). The content key is a one-way hash, so without it the
+        warehouse ingest could not recover which seed or device produced
+        a blob. :meth:`load` ignores the extra key, so old and new blobs
+        interoperate without a format-version bump.
         """
         if not self.enabled:
             return None
@@ -249,6 +262,8 @@ class ResultCache:
             "scheme": report.scheme,
             "report": report.to_dict(),
         }
+        if meta is not None:
+            blob["meta"] = meta
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -289,6 +304,60 @@ class ResultCache:
                 continue
         return sorted(found)
 
+    def iter_blobs(self):
+        """Lazily yield ``(key, blob_dict, mtime, size_bytes)`` tuples.
+
+        One blob is resident at a time, so a multi-thousand-entry cache
+        can be traversed in constant memory — this is the shared walk
+        under both :meth:`iter_entries` and the warehouse ingest.
+        Corrupt blobs are quarantined exactly as in :meth:`load`;
+        format-version mismatches are skipped but kept on disk (healthy,
+        just written by a different build). Session hit/miss counters
+        are *not* touched: a traversal is not a lookup.
+        """
+        for path in self.entries():
+            try:
+                stat = path.stat()
+                with open(path, "r", encoding="utf-8") as fh:
+                    blob = json.load(fh)
+            except FileNotFoundError:
+                continue  # concurrently cleared
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self.quarantined += 1
+                continue
+            if not isinstance(blob, dict):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self.quarantined += 1
+                continue
+            if blob.get("format_version") != CACHE_FORMAT_VERSION:
+                continue
+            yield path.stem, blob, stat.st_mtime, stat.st_size
+
+    def iter_entries(self):
+        """Lazily yield ``(content_key, SimReport, mtime)`` tuples.
+
+        Blobs whose ``report`` section no longer deserializes are
+        quarantined (unlinked + counted), matching :meth:`load`.
+        """
+        for key, blob, mtime, _size in self.iter_blobs():
+            try:
+                report = SimReport.from_dict(blob["report"])
+            except (KeyError, TypeError, ValueError, AttributeError):
+                try:
+                    self.path_for(key).unlink()
+                except OSError:
+                    pass
+                self.quarantined += 1
+                continue
+            yield key, report, mtime
+
     def size_bytes(self) -> int:
         """Total bytes occupied by cached blobs.
 
@@ -303,26 +372,43 @@ class ResultCache:
                 continue
         return total
 
-    def info(self) -> dict:
+    def info(self, *, deep: bool = False) -> dict:
         """Machine-readable snapshot of the cache (one atomic listing).
 
         ``entries`` and ``size_bytes`` are derived from a *single*
-        :meth:`entries` walk, so they describe the same instant even
-        when another process is storing or clearing concurrently —
-        calling :meth:`entries` and :meth:`size_bytes` separately could
-        report a count and a byte total from two different cache states.
-        Session counters (hits/misses/stores/quarantined) describe this
+        traversal, so they describe the same instant even when another
+        process is storing or clearing concurrently — calling
+        :meth:`entries` and :meth:`size_bytes` separately could report a
+        count and a byte total from two different cache states. Session
+        counters (hits/misses/stores/quarantined) describe this
         process's cache object, not the directory.
+
+        ``deep=True`` rides the same :meth:`iter_blobs` walk the
+        warehouse ingest uses and additionally reports per-workload and
+        per-scheme entry counts (``workloads``/``schemes`` maps, sorted
+        keys); entries written under a different format version are
+        excluded, so deep counts reflect what ingest would see.
         """
         total = 0
         count = 0
-        for path in self.entries():
-            count += 1
-            try:
-                total += path.stat().st_size
-            except OSError:
-                continue
-        return {
+        if deep:
+            workloads: dict[str, int] = {}
+            schemes: dict[str, int] = {}
+            for _key, blob, _mtime, size in self.iter_blobs():
+                count += 1
+                total += size
+                workload = str(blob.get("workload", "?"))
+                scheme = str(blob.get("scheme", "?"))
+                workloads[workload] = workloads.get(workload, 0) + 1
+                schemes[scheme] = schemes.get(scheme, 0) + 1
+        else:
+            for path in self.entries():
+                count += 1
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        doc = {
             "root": str(self.root),
             "enabled": self.enabled,
             "format_version": CACHE_FORMAT_VERSION,
@@ -333,6 +419,10 @@ class ResultCache:
             "stores": self.stores,
             "quarantined": self.quarantined,
         }
+        if deep:
+            doc["workloads"] = dict(sorted(workloads.items()))
+            doc["schemes"] = dict(sorted(schemes.items()))
+        return doc
 
     def clear(self) -> int:
         """Delete every cached blob; returns the number removed."""

@@ -10,6 +10,9 @@ Examples::
     repro-harness trace Dyn-DMS SCP --scale 0.5 --out-dir traces
     repro-harness table --device hbm --schemes frfcfs,fcfs,frfcfs-cap
     repro-harness matrix --devices gddr5,hbm --apps SCP
+    repro-harness report ingest
+    repro-harness report render --out report.md --html report.html
+    repro-harness report diff --baseline snapshot.json
     repro-harness serve --port 8732 --workers 2
     repro-harness submit SCP --scheme dyn-dms --telemetry --wait
     repro-harness status j0123456789ab --json
@@ -44,6 +47,8 @@ EXIT_OK = 0
 EXIT_PARTIAL = 3
 #: a cell failed all its attempts and ``--keep-going`` was off.
 EXIT_FAILED = 4
+#: ``report diff`` found a statistically significant regression.
+EXIT_REGRESSION = 5
 
 
 def _cache_main(argv: list[str]) -> int:
@@ -75,7 +80,9 @@ def _cache_main(argv: list[str]) -> int:
     else:
         # One atomic snapshot: entry count and byte total describe the
         # same listing even while another process mutates the cache.
-        info = cache.info()
+        # The JSON form rides the same iter_blobs traversal as the
+        # warehouse ingest, adding per-workload/per-scheme counts.
+        info = cache.info(deep=args.json)
         if args.json:
             print(json.dumps(info, indent=2, sort_keys=True))
         else:
@@ -491,6 +498,264 @@ def _pareto_main(argv: list[str]) -> int:
     return EXIT_OK
 
 
+def _report_main(argv: list[str]) -> int:
+    """The ``repro-harness report <action>`` subcommand.
+
+    ``ingest`` walks the result cache (plus optional failure manifests
+    and BENCH histories) into the sqlite warehouse; ``query`` filters
+    the flattened rows; ``render`` emits the templated markdown/HTML
+    report and an optional pinnable snapshot; ``diff`` gates the
+    current warehouse against a pinned snapshot, exiting
+    ``EXIT_REGRESSION`` (5) on a significant regression.
+    """
+    from repro.analytics.report import (
+        render_diff_markdown,
+        render_html,
+        render_markdown,
+    )
+    from repro.analytics.results import ExperimentResults, load_snapshot
+    from repro.analytics.warehouse import (
+        FILTER_COLUMNS,
+        Warehouse,
+        ingest_sources,
+    )
+    from repro.config.warehouse import WarehouseSpec
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness report",
+        description="Query and render the experiment results warehouse.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["ingest", "query", "render", "diff"],
+        help=(
+            "ingest: walk cache/manifests/bench into the warehouse; "
+            "query: filter flattened experiment rows; "
+            "render: emit the templated sweep report; "
+            "diff: gate against a pinned baseline snapshot"
+        ),
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help=(
+            "warehouse sqlite file (default: $REPRO_WAREHOUSE or "
+            ".repro-warehouse.sqlite)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root to ingest (default: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    parser.add_argument(
+        "--failures",
+        action="append",
+        default=[],
+        metavar="MANIFEST",
+        help="failure manifest JSON to ingest (repeatable)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="BENCH_JSON",
+        help="BENCH_*.json history to ingest (repeatable)",
+    )
+    for column in FILTER_COLUMNS:
+        parser.add_argument(
+            f"--{column}",
+            default=None,
+            help=f"query filter: exact {column} match",
+        )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="REPORT_MD",
+        help="render: write the markdown report here (default: stdout)",
+    )
+    parser.add_argument(
+        "--html",
+        default=None,
+        metavar="REPORT_HTML",
+        help="render: also write a self-contained HTML report here",
+    )
+    parser.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="SNAPSHOT_JSON",
+        help="render: pin the raw per-seed samples for future diffs",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="SNAPSHOT_JSON",
+        help="diff: pinned snapshot to gate against (required)",
+    )
+    spec_defaults = WarehouseSpec()
+    parser.add_argument(
+        "--baseline-scheme",
+        default=spec_defaults.baseline_scheme,
+        help="scheme label savings are computed against",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=spec_defaults.confidence,
+        help="bootstrap CI confidence level",
+    )
+    parser.add_argument(
+        "--resamples",
+        type=int,
+        default=spec_defaults.resamples,
+        help="bootstrap resample count",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=spec_defaults.alpha,
+        help="diff: significance level (Holm-adjusted)",
+    )
+    parser.add_argument(
+        "--min-effect",
+        type=float,
+        default=spec_defaults.min_effect,
+        help="diff: minimum worse-direction relative mean delta",
+    )
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=spec_defaults.min_samples,
+        help="diff: seeds per side below which the gate is delta-only",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=",".join(spec_defaults.metrics),
+        help="diff: comma-separated metrics to gate",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+    spec = WarehouseSpec(
+        db_path=args.db,
+        cache_dir=args.cache_dir,
+        baseline_scheme=args.baseline_scheme,
+        confidence=args.confidence,
+        resamples=args.resamples,
+        alpha=args.alpha,
+        min_effect=args.min_effect,
+        min_samples=args.min_samples,
+        metrics=tuple(
+            m.strip() for m in args.metrics.split(",") if m.strip()
+        ),
+    )
+    try:
+        spec.validate()
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+    with Warehouse(spec.db_path) as warehouse:
+        if args.action == "ingest":
+            cache = ResultCache(spec.cache_dir, enabled=True)
+            try:
+                ingested = ingest_sources(
+                    warehouse,
+                    cache=cache,
+                    failure_manifests=args.failures,
+                    bench_files=args.bench,
+                )
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"ingest failed: {exc}", file=sys.stderr)
+                return EXIT_FAILED
+            doc = {"ingested": ingested, "totals": warehouse.counts()}
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"ingested {ingested['experiments']} experiment(s), "
+                    f"{ingested['failures']} failure(s), "
+                    f"{ingested['bench']} bench entr(ies) "
+                    f"into {warehouse.path}"
+                )
+            return EXIT_OK
+
+        if args.action == "query":
+            filters = {
+                column: getattr(args, column)
+                for column in FILTER_COLUMNS
+                if getattr(args, column) is not None
+            }
+            if "seed" in filters:
+                filters["seed"] = int(filters["seed"])
+            rows = warehouse.rows(**filters)
+            if args.json:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+            else:
+                for row in rows:
+                    print(
+                        f"{row['app']:<6} {row['scheme']:<24} "
+                        f"dev={row['device'] or '-':<8} "
+                        f"ecc={row['ecc'] or '-':<10} "
+                        f"seed={row['seed'] if row['seed'] is not None else '-'} "
+                        f"rowE={row['row_energy_nj']:.4g}nJ "
+                        f"ipc={row['ipc']:.3f}"
+                    )
+                print(f"{len(rows)} row(s)")
+            return EXIT_OK
+
+        results = ExperimentResults(
+            warehouse,
+            baseline_scheme=spec.baseline_scheme,
+            confidence=spec.confidence,
+            resamples=spec.resamples,
+            alpha=spec.alpha,
+            min_effect=spec.min_effect,
+            min_samples=spec.min_samples,
+            gate_metrics=spec.metrics,
+        )
+        if args.action == "render":
+            summary = results.summary()
+            markdown = render_markdown(summary)
+            if args.out:
+                Path(args.out).write_text(markdown, encoding="utf-8")
+                print(f"wrote {args.out}")
+            else:
+                print(markdown)
+            if args.html:
+                Path(args.html).write_text(
+                    render_html(summary), encoding="utf-8"
+                )
+                print(f"wrote {args.html}")
+            if args.snapshot_out:
+                Path(args.snapshot_out).write_text(
+                    json.dumps(results.snapshot(), indent=2, sort_keys=True),
+                    encoding="utf-8",
+                )
+                print(f"wrote {args.snapshot_out}")
+            return EXIT_OK
+
+        # diff
+        if not args.baseline:
+            parser.error("report diff requires --baseline SNAPSHOT_JSON")
+        try:
+            baseline = load_snapshot(args.baseline)
+            regressions = [
+                r.to_dict() for r in results.regressions_against(baseline)
+            ]
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"diff failed: {exc}", file=sys.stderr)
+            return EXIT_FAILED
+        if args.json:
+            print(json.dumps(regressions, indent=2, sort_keys=True))
+        else:
+            print(render_diff_markdown(regressions), end="")
+        return EXIT_REGRESSION if regressions else EXIT_OK
+
+
 def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
     """Host/port options shared by the service client subcommands."""
     from repro.service.server import DEFAULT_PORT
@@ -591,6 +856,12 @@ def _serve_main(argv: list[str]) -> int:
         help="serve without the persistent result cache",
     )
     parser.add_argument(
+        "--warehouse", default=None, metavar="DB",
+        help="results-warehouse sqlite file served by the read-only "
+        "/v1/experiments routes (default: $REPRO_WAREHOUSE or "
+        ".repro-warehouse.sqlite)",
+    )
+    parser.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts per failing job (default 1)",
     )
@@ -641,6 +912,7 @@ def _serve_main(argv: list[str]) -> int:
         breaker_cooldown=args.breaker_cooldown,
         shed_watermark=args.shed_watermark,
         chaos=chaos,
+        warehouse_path=args.warehouse,
         verbose=not args.quiet,
     )
     try:
@@ -1010,6 +1282,8 @@ def main(argv: list[str] | None = None) -> int:
         return _matrix_main(argv[1:])
     if argv and argv[0] == "pareto":
         return _pareto_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "submit":

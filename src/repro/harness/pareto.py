@@ -206,6 +206,10 @@ def run_pareto(
                             results[(app, label)],
                         )
                     )
+    # Deterministic row order regardless of device/ecc loop structure or
+    # --jobs level, so `pareto --json` diffs cleanly against a pinned
+    # baseline.
+    rows.sort(key=lambda r: (r.app, r.scheme, r.device, r.ecc))
     return mark_frontier(rows)
 
 

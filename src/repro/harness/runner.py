@@ -145,6 +145,21 @@ class CellSpec:
             spec=self.sim_spec,
         )
 
+    @property
+    def cache_meta(self) -> dict:
+        """Sidecar metadata stored next to the report blob.
+
+        The cache key is a one-way hash, so this is the only record of
+        which (app, scale, seed, spec) produced a blob — the results
+        warehouse ingests it to fill its seed/device/ecc columns.
+        """
+        return {
+            "app": self.app,
+            "scale": self.scale,
+            "seed": self.seed,
+            "spec": self.sim_spec.to_dict(),
+        }
+
 
 def _simulate_cell(
     spec: CellSpec,
@@ -427,7 +442,7 @@ class Runner:
         )
         self._memo[key] = report
         if self.cache is not None:
-            path = self.cache.store(key, report)
+            path = self.cache.store(key, report, meta=spec.cache_meta)
             if (
                 path is not None
                 and self.faults is not None

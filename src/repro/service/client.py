@@ -26,6 +26,7 @@ import json
 import random
 import time
 from typing import Any, Callable, Iterator, Optional
+from urllib.parse import quote
 
 from repro.errors import (
     CircuitOpenError,
@@ -145,6 +146,43 @@ class ServiceClient:
     def stats(self) -> dict:
         """Service counters, queue occupancy, and cache snapshot."""
         status, headers, doc = self._request("GET", "/v1/stats")
+        self._raise_for(status, headers, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    def experiments(self, **filters: Any) -> list[dict]:
+        """Warehouse experiment rows, optionally filtered.
+
+        Keyword filters (``app=``, ``scheme=``, ``device=``, ``ecc=``,
+        ``seed=``) become query-string parameters; the server rejects
+        unknown ones with 400 (:class:`~repro.errors.ConfigError` here).
+        """
+        pairs = [
+            f"{quote(name)}={quote(str(value))}"
+            for name, value in sorted(filters.items())
+            if value is not None
+        ]
+        path = "/v1/experiments"
+        if pairs:
+            path += "?" + "&".join(pairs)
+        status, headers, doc = self._request("GET", path)
+        self._raise_for(status, headers, doc)
+        return doc.get("experiments", [])
+
+    def experiment(self, content_key: str) -> dict:
+        """One flattened experiment row (full report blob included)."""
+        status, headers, doc = self._request(
+            "GET", f"/v1/experiments/{content_key}"
+        )
+        self._raise_for(status, headers, doc)
+        return doc
+
+    def experiments_summary(self) -> dict:
+        """The warehouse aggregate summary — the exact
+        ``ExperimentResults.summary()`` document the CLI render uses."""
+        status, headers, doc = self._request(
+            "GET", "/v1/experiments/summary"
+        )
         self._raise_for(status, headers, doc)
         return doc
 

@@ -12,6 +12,12 @@ multi-tenant simulation service::
     GET  /v1/healthz            liveness probe
     GET  /v1/stats              service counters + queue + cache snapshot
     POST /v1/shutdown           graceful drain + stop
+    GET  /v1/experiments        results-warehouse rows (filterable by
+                                ?app=&scheme=&device=&ecc=&seed=)
+    GET  /v1/experiments/<key>  one flattened experiment + report blob
+    GET  /v1/experiments/summary  seed-statistics aggregates — the same
+                                ``ExperimentResults.summary()`` document
+                                the ``report render`` templates consume
 
 Execution reuses the existing harness stack end to end: admission is
 cache-first against the shared :class:`~repro.harness.cache.ResultCache`,
@@ -62,8 +68,14 @@ import traceback as traceback_mod
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Optional
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
+from repro.analytics.results import ExperimentResults
+from repro.analytics.warehouse import (
+    FILTER_COLUMNS,
+    Warehouse,
+    resolve_warehouse_path,
+)
 from repro.dram.request import reset_request_ids
 from repro.errors import ConfigError, JobStateError
 from repro.harness.cache import ResultCache
@@ -163,6 +175,7 @@ class ServiceDaemon:
         breaker_cooldown: float = 60.0,
         shed_watermark: float = 0.75,
         chaos: Optional[FaultPlan] = None,
+        warehouse_path: str | Path | None = None,
         verbose: bool = True,
     ) -> None:
         if workers < 0:
@@ -184,6 +197,10 @@ class ServiceDaemon:
         self.process_tier = process_tier
         self.shed_watermark = shed_watermark
         self.chaos = chaos
+        #: Sqlite results warehouse served read-only by the
+        #: ``/v1/experiments`` routes (None = $REPRO_WAREHOUSE / the
+        #: default path; the routes 404 until the file exists).
+        self.warehouse_path = resolve_warehouse_path(warehouse_path)
         self.verbose = verbose
         self.hub = MetricsHub(window_cycles=max(window_cycles, 1))
         self.breaker = CircuitBreaker(
@@ -483,12 +500,24 @@ class ServiceDaemon:
                 self._running.pop(job.id, None)
                 self.queue.release(job)
 
+    @staticmethod
+    def _job_meta(job: Job) -> dict:
+        """Warehouse sidecar stored next to a job's cache blob (mirrors
+        ``CellSpec.cache_meta`` so CLI- and service-produced blobs
+        ingest identically)."""
+        return {
+            "app": job.app,
+            "scale": job.scale,
+            "seed": job.seed,
+            "spec": job.spec.to_dict(),
+        }
+
     def _store_result(self, job: Job, report: SimReport) -> None:
         """Persist a tier-produced report (the tier's workers compute;
         the daemon owns the cache) — runs on an executor thread."""
         self.hub.inc(SERVICE_SIMULATIONS)
         if self.cache.enabled:
-            self.cache.store(job.key, report)
+            self.cache.store(job.key, report, meta=self._job_meta(job))
 
     # ------------------------------------------------------------------
     # Simulation execution (runs in executor threads)
@@ -581,7 +610,9 @@ class ServiceDaemon:
             else:
                 self.hub.inc(SERVICE_SIMULATIONS)
                 if self.cache.enabled:
-                    self.cache.store(job.key, report)
+                    self.cache.store(
+                        job.key, report, meta=self._job_meta(job)
+                    )
                 return report
 
     # ------------------------------------------------------------------
@@ -595,8 +626,10 @@ class ServiceDaemon:
         try:
             request = await self._read_request(reader, writer)
             if request is not None:
-                method, path, body, headers = request
-                await self._route(method, path, body, headers, writer)
+                method, path, query, body, headers = request
+                await self._route(
+                    method, path, query, body, headers, writer
+                )
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:
@@ -624,7 +657,7 @@ class ServiceDaemon:
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
-    ) -> Optional[tuple[str, str, bytes, dict[str, str]]]:
+    ) -> Optional[tuple[str, str, str, bytes, dict[str, str]]]:
         try:
             request_line = await reader.readline()
         except (ValueError, ConnectionError):
@@ -651,7 +684,8 @@ class ServiceDaemon:
             await reader.readexactly(content_length)
             if content_length else b""
         )
-        return method, urlsplit(target).path, body, headers
+        split = urlsplit(target)
+        return method, split.path, split.query, body, headers
 
     def _respond(
         self,
@@ -678,6 +712,7 @@ class ServiceDaemon:
         self,
         method: str,
         path: str,
+        query: str,
         body: bytes,
         headers: dict[str, str],
         writer: asyncio.StreamWriter,
@@ -703,6 +738,17 @@ class ServiceDaemon:
             await writer.drain()
             asyncio.ensure_future(self._shutdown(drain))
             return
+        if path == "/v1/experiments" and method == "GET":
+            await self._handle_experiments(query, writer)
+            return
+        if path.startswith("/v1/experiments/") and method == "GET":
+            rest = path[len("/v1/experiments/"):]
+            if rest == "summary":
+                await self._handle_experiments_summary(writer)
+                return
+            if rest and "/" not in rest:
+                await self._handle_experiment(rest, writer)
+                return
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/events") and method == "GET":
@@ -766,6 +812,112 @@ class ServiceDaemon:
             ),
             "uptime_seconds": time.time() - self._started_at,
         }
+
+    # ------------------------------------------------------------------
+    # Read-only analytics routes (/v1/experiments*)
+    # ------------------------------------------------------------------
+    def _warehouse_missing(self, writer: asyncio.StreamWriter) -> bool:
+        """404 (and True) when the warehouse file does not exist yet.
+
+        The daemon never creates the warehouse itself — it is built by
+        ``repro-harness report ingest`` — so a GET before the first
+        ingest is a clean 404, not an empty implicitly-created store.
+        """
+        if Path(self.warehouse_path).exists():
+            return False
+        self._respond(
+            writer,
+            404,
+            {
+                "error": (
+                    f"no warehouse at {self.warehouse_path}; run "
+                    "`repro-harness report ingest` first"
+                )
+            },
+        )
+        return True
+
+    @staticmethod
+    def _experiment_filters(query: str) -> dict:
+        """Query-string filters for ``GET /v1/experiments``.
+
+        Raises ``ValueError`` on unknown parameters or a non-integer
+        ``seed`` (surfaced as HTTP 400).
+        """
+        filters: dict = {}
+        for name, values in parse_qs(
+            query, keep_blank_values=False
+        ).items():
+            if name not in FILTER_COLUMNS:
+                raise ValueError(
+                    f"unknown filter {name!r} "
+                    f"(known: {', '.join(FILTER_COLUMNS)})"
+                )
+            value = values[-1]
+            if name == "seed":
+                try:
+                    value = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"seed must be an integer, got {value!r}"
+                    ) from None
+            filters[name] = value
+        return filters
+
+    async def _handle_experiments(
+        self, query: str, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            filters = self._experiment_filters(query)
+        except ValueError as exc:
+            self._respond(writer, 400, {"error": str(exc)})
+            return
+        if self._warehouse_missing(writer):
+            return
+
+        def work() -> list[dict]:
+            with Warehouse(self.warehouse_path, hub=self.hub) as wh:
+                return wh.rows(**filters)
+
+        rows = await self._loop.run_in_executor(self._executor, work)
+        self._respond(
+            writer, 200, {"experiments": rows, "count": len(rows)}
+        )
+
+    async def _handle_experiment(
+        self, content_key: str, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._warehouse_missing(writer):
+            return
+
+        def work() -> Optional[dict]:
+            with Warehouse(self.warehouse_path, hub=self.hub) as wh:
+                return wh.row(content_key)
+
+        doc = await self._loop.run_in_executor(self._executor, work)
+        if doc is None:
+            self._respond(
+                writer,
+                404,
+                {"error": f"no experiment with key {content_key!r}"},
+            )
+            return
+        self._respond(writer, 200, doc)
+
+    async def _handle_experiments_summary(
+        self, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._warehouse_missing(writer):
+            return
+
+        def work() -> dict:
+            # The same ExperimentResults.summary() the CLI render
+            # consumes — the dashboard and the report cannot disagree.
+            with Warehouse(self.warehouse_path, hub=self.hub) as wh:
+                return ExperimentResults(wh).summary()
+
+        doc = await self._loop.run_in_executor(self._executor, work)
+        self._respond(writer, 200, doc)
 
     async def _handle_submit(
         self, body: bytes, writer: asyncio.StreamWriter

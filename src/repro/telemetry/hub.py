@@ -95,6 +95,25 @@ SERVICE_TIER_TIMEOUTS = "service.tier.timeouts"
 #: Tier attempts lost to a dying worker process.
 SERVICE_TIER_CRASHES = "service.tier.worker_crashes"
 
+# ----------------------------------------------------------------------
+# Canonical counter names of the results warehouse
+# (:mod:`repro.analytics`). The warehouse and the report CLI increment
+# these on whatever hub they are given; the service daemon folds them
+# into its ``GET /v1/stats`` snapshot.
+# ----------------------------------------------------------------------
+#: Experiment rows upserted from cache blobs.
+ANALYTICS_INGESTED_ROWS = "analytics.rows_ingested"
+#: Failure-manifest rows upserted.
+ANALYTICS_INGESTED_FAILURES = "analytics.failures_ingested"
+#: Benchmark history entries upserted.
+ANALYTICS_INGESTED_BENCH = "analytics.bench_ingested"
+#: Warehouse queries served (CLI ``report query`` + service reads).
+ANALYTICS_QUERIES = "analytics.queries"
+#: Reports rendered (markdown or HTML).
+ANALYTICS_RENDERS = "analytics.renders"
+#: Significant regressions flagged by ``report diff``.
+ANALYTICS_REGRESSIONS = "analytics.regressions"
+
 
 class MetricsHub:
     """Named counters/gauges plus the per-window timeline of one run."""
